@@ -1,0 +1,58 @@
+"""Shared implementation of the Figure 5/6/7 hyper-parameter sweeps.
+
+The paper sweeps four hyper-parameters of OOD-GNN per dataset: number of
+message-passing layers, representation dimensionality d, the size of the
+global weight groups, and the momentum coefficient gamma.  Each bench file
+(Figures 5, 6, 7) runs the same four sweeps on its dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import ExperimentProtocol, run_method_multi_seed, format_series
+from repro.datasets import load_dataset
+
+from conftest import BENCH_EPOCHS, BENCH_SEEDS
+
+# (sweep name, values, how the value maps into the protocol)
+SWEEPS = {
+    "num_layers": [2, 3, 4, 5],
+    "hidden_dim": [16, 32, 64],
+    "global_size": [16, 32, 64],     # memory-group size == batch size
+    "momentum": [0.9, 0.99, 0.999],
+}
+
+
+def protocol_for(sweep: str, value, dataset) -> ExperimentProtocol:
+    eval_every = 2 if dataset.info.split_method == "scaffold" else 0
+    kwargs = dict(epochs=BENCH_EPOCHS, batch_size=32, hidden_dim=32, num_layers=3, eval_every=eval_every)
+    overrides = {}
+    if sweep == "num_layers":
+        kwargs["num_layers"] = value
+    elif sweep == "hidden_dim":
+        kwargs["hidden_dim"] = value
+    elif sweep == "global_size":
+        kwargs["batch_size"] = value
+    elif sweep == "momentum":
+        overrides["momentum"] = value
+    else:
+        raise ValueError(f"unknown sweep {sweep!r}")
+    return ExperimentProtocol(ood_overrides=overrides, **kwargs)
+
+
+def run_hparam_sweep(dataset_name: str, sweep: str, dataset_kwargs: dict, figure: str):
+    """Run one sweep and print the paper-figure series; returns the ys."""
+    factory = lambda seed: load_dataset(dataset_name, seed=seed, **dataset_kwargs)
+    sample = factory(0)
+    split = list(sample.tests)[0]
+    values = SWEEPS[sweep]
+    ys = []
+    for value in values:
+        proto = protocol_for(sweep, value, sample)
+        result = run_method_multi_seed("ood-gnn", factory, BENCH_SEEDS[:1], proto)
+        ys.append(result.test_mean[split])
+    print()
+    print(format_series(f"{figure} — {dataset_name}: OOD metric vs {sweep}", values, ys, "OOD"))
+    assert all(np.isfinite(ys))
+    return values, ys

@@ -1,0 +1,25 @@
+"""Figure 7: hyper-parameter sensitivity of OOD-GNN on ogbg-molbace.
+
+Reproduces the paper's Figure 7: OOD test performance as a function
+of the number of message-passing layers, the representation
+dimensionality d, the size of the global weight groups, and the momentum
+coefficient gamma.  The paper finds mild sensitivity: an intermediate
+layer count is best, larger global groups help, and gamma has a slight
+influence (long- vs short-term memory).
+"""
+
+import pytest
+
+from _hparam_sweeps import SWEEPS, run_hparam_sweep
+from conftest import BENCH_SCALE
+
+
+@pytest.mark.parametrize("sweep", list(SWEEPS))
+def test_fig7_ogbgmolbace(benchmark, sweep):
+    values, ys = benchmark.pedantic(
+        run_hparam_sweep,
+        args=("ogbg-molbace", sweep, {}, "Figure 7"),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(ys) == len(SWEEPS[sweep])

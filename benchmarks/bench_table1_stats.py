@@ -1,0 +1,44 @@
+"""Table 1: dataset statistics for all 14 benchmarks.
+
+Prints #graphs, average #nodes/#edges, #tasks, task type, split method and
+metric for every generated dataset — the same columns as the paper's
+Table 1 (counts are the scaled-down substrate defaults).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import load_dataset, DATASET_NAMES, dataset_statistics
+
+from conftest import BENCH_SCALE
+
+
+def _statistics_row(name: str, scale: float):
+    dataset = load_dataset(name, seed=0, scale=scale)
+    stats = dataset_statistics(dataset.all_graphs())
+    info = dataset.info
+    return [
+        stats["num_graphs"],
+        f"{stats['avg_nodes']:.1f}",
+        f"{stats['avg_edges']:.1f}",
+        info.num_tasks,
+        info.task_type,
+        info.split_method,
+        info.metric,
+    ]
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1_row(benchmark, name):
+    """Generate one dataset and print its Table 1 row (timed)."""
+    scale = min(BENCH_SCALE, 0.5) if name == "mnist75sp" else BENCH_SCALE
+    row = benchmark.pedantic(_statistics_row, args=(name, scale), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            f"Table 1 row — {name}",
+            ["#Graphs", "Avg#Nodes", "Avg#Edges", "#Tasks", "Task", "Split", "Metric"],
+            {name: row},
+        )
+    )
+    assert row[0] > 0

@@ -1,0 +1,52 @@
+"""Table 4: the nine OGBG-MOL* scaffold-split benchmarks.
+
+Reproduces the paper's Table 4: ROC-AUC for the seven classification
+datasets and RMSE for the two regression datasets (ESOL, FREESOLV), under
+the scaffold split that sends unseen molecular frameworks to test.
+
+Paper's claims: no baseline is consistently competitive across datasets
+while OOD-GNN is; OOD-GNN attains the best value on every dataset.
+To keep the numpy-substrate wall-clock sane this bench runs one seed per
+method by default (REPRO_BENCH_SEEDS raises it) and a representative
+method subset on the seven smaller datasets, with the full roster on
+BACE and ESOL.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, OGB_DATASET_NAMES
+
+from conftest import ALL_METHODS, BENCH_SEEDS, run_table
+
+# Full roster where the paper's analysis concentrates; a representative
+# subset (strongest baselines of Tables 2-3 plus the GIN backbone) on the
+# remaining seven datasets.
+_FULL_ROSTER_DATASETS = ("ogbg-molbace", "ogbg-molesol")
+_SUBSET = ("gcn", "gin", "gin-virtual", "sagpool", "ood-gnn")
+
+
+def _factory(name):
+    def make(seed):
+        return load_dataset(name, seed=seed)
+
+    return make
+
+
+@pytest.mark.parametrize("name", OGB_DATASET_NAMES)
+def test_table4_dataset(benchmark, scaffold_protocol, name):
+    methods = ALL_METHODS if name in _FULL_ROSTER_DATASETS else _SUBSET
+    factory = _factory(name)
+    sample = factory(0)
+    metric = sample.info.metric
+    results = benchmark.pedantic(
+        run_table,
+        args=(factory, methods, BENCH_SEEDS[:1] if name not in _FULL_ROSTER_DATASETS else BENCH_SEEDS,
+              scaffold_protocol, f"Table 4: {name} ({metric})", sample),
+        rounds=1,
+        iterations=1,
+    )
+    ood = {m: r.test_mean["Test(scaffold)"] for m, r in results.items()}
+    assert all(np.isfinite(v) for v in ood.values())
+    if metric == "rocauc":
+        assert all(0.0 <= v <= 1.0 for v in ood.values())

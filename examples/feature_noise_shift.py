@@ -1,0 +1,66 @@
+"""Feature-noise robustness on superpixel digit graphs (the MNIST setting).
+
+Builds the MNIST-75SP-like dataset, trains GIN and OOD-GNN on clean
+grayscale graphs, then sweeps the test-time noise level sigma for both
+shift types of the paper — grayscale noise (Test(noise)) and independent
+per-channel colour noise (Test(color)) — and prints accuracy-vs-sigma
+curves.  The paper's claim: decorrelated representations degrade more
+gracefully as the feature distribution drifts.
+
+Run:  python examples/feature_noise_shift.py
+"""
+
+import numpy as np
+
+from repro.core import OODGNN, OODGNNConfig, OODGNNTrainer
+from repro.datasets import load_dataset
+from repro.datasets.transforms import add_gaussian_noise, add_color_noise
+from repro.encoders import build_model
+from repro.training import Trainer, TrainerConfig
+
+SIGMAS = [0.0, 0.2, 0.4, 0.8]
+COLOR_CHANNELS = slice(0, 3)
+
+
+def main() -> None:
+    dataset = load_dataset("mnist75sp", seed=0, scale=0.35)
+    info = dataset.info
+    # The registry ships test sets with the paper's fixed sigma = 0.4
+    # already applied; the sweep needs clean graphs to noise at varying
+    # levels, so sample a fresh clean pool from the same generator.
+    from repro.datasets.mnist75sp import make_mnist75sp
+
+    clean_test = make_mnist75sp(np.random.default_rng(7), num_train=60, num_valid=1, num_test=1).train
+
+    gin = build_model("gin", info.feature_dim, info.model_out_dim,
+                      np.random.default_rng(1), hidden_dim=32, num_layers=3)
+    gin_trainer = Trainer(gin, info.task_type,
+                          TrainerConfig(epochs=20, batch_size=32, lr=1e-3),
+                          np.random.default_rng(2), metric=info.metric)
+    gin_trainer.fit(dataset.train)
+
+    config = OODGNNConfig(hidden_dim=32, num_layers=3, epochs=20, batch_size=32, lr=1e-3)
+    model = OODGNN(info.feature_dim, info.model_out_dim, np.random.default_rng(1), config=config)
+    trainer = OODGNNTrainer(model, info.task_type, np.random.default_rng(2),
+                            metric=info.metric, config=config)
+    trainer.fit(dataset.train)
+
+    noise_rng = np.random.default_rng(99)
+    for shift, transform in (
+        ("grayscale noise (Test(noise))", add_gaussian_noise),
+        ("per-channel colour noise (Test(color))", add_color_noise),
+    ):
+        print(f"\naccuracy vs sigma under {shift}:")
+        print(f"  {'sigma':>6s} {'GIN':>8s} {'OOD-GNN':>8s}")
+        for sigma in SIGMAS:
+            if sigma == 0.0:
+                shifted = clean_test
+            else:
+                shifted = transform(clean_test, sigma, noise_rng, channels=COLOR_CHANNELS)
+            gin_acc = gin_trainer.evaluate(shifted)
+            ood_acc = trainer.evaluate(shifted)
+            print(f"  {sigma:6.1f} {gin_acc:8.3f} {ood_acc:8.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Molecular property prediction under scaffold shift (the Table 4 setting).
+
+Builds an OGBG-MOLBACE-like dataset where functional groups determine the
+label (the causal signal) but each scaffold's decoration preferences make
+scaffold identity predictive *inside the training split only*.  The
+script:
+
+1. quantifies the spurious correlation (label purity per train scaffold);
+2. verifies the scaffold split isolates unseen frameworks in test;
+3. trains GIN and OOD-GNN with validation-based model selection and
+   compares their OOD ROC-AUC;
+4. shows which training molecules the learned weights emphasise: the
+   counter-examples whose label disagrees with their scaffold's majority.
+
+Run:  python examples/molecule_scaffold_shift.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core import OODGNN, OODGNNConfig, OODGNNTrainer
+from repro.datasets import load_dataset
+from repro.encoders import build_model
+from repro.graph.data import GraphBatch
+from repro.training import Trainer, TrainerConfig
+
+
+def label_of(graph) -> float:
+    return float(np.asarray(graph.y).reshape(-1)[0])
+
+
+def main() -> None:
+    dataset = load_dataset("ogbg-molbace", seed=0, num_graphs=300)
+    info = dataset.info
+    test = dataset.tests["Test(scaffold)"]
+
+    # --- 1. the spurious correlation ----------------------------------
+    by_scaffold = defaultdict(list)
+    for g in dataset.train:
+        by_scaffold[g.meta["scaffold"]].append(label_of(g))
+    purities = {s: max(np.mean(v), 1 - np.mean(v)) for s, v in by_scaffold.items() if len(v) >= 5}
+    print("label purity of the major training scaffolds (1.0 = scaffold determines label):")
+    for scaffold, purity in sorted(purities.items()):
+        print(f"  scaffold {scaffold:3d}: purity={purity:.2f}  n={len(by_scaffold[scaffold])}")
+
+    # --- 2. the split isolates unseen scaffolds -----------------------
+    train_scaffolds = {g.meta["scaffold"] for g in dataset.train}
+    test_scaffolds = {g.meta["scaffold"] for g in test}
+    assert not (train_scaffolds & test_scaffolds)
+    print(f"\ntrain scaffolds: {len(train_scaffolds)}  test scaffolds: {len(test_scaffolds)} (disjoint)")
+
+    # --- 3. GIN vs OOD-GNN under the same protocol --------------------
+    gin = build_model("gin", info.feature_dim, info.model_out_dim,
+                      np.random.default_rng(1), hidden_dim=32, num_layers=3)
+    gin_trainer = Trainer(gin, info.task_type,
+                          TrainerConfig(epochs=20, batch_size=32, lr=1e-3, eval_every=2),
+                          np.random.default_rng(2), metric=info.metric)
+    gin_trainer.fit(dataset.train, dataset.valid)
+
+    config = OODGNNConfig(hidden_dim=32, num_layers=3, epochs=20, batch_size=32, lr=1e-3)
+    model = OODGNN(info.feature_dim, info.model_out_dim, np.random.default_rng(1), config=config)
+    trainer = OODGNNTrainer(model, info.task_type, np.random.default_rng(2),
+                            metric=info.metric, config=config)
+    trainer.fit(dataset.train, dataset.valid, eval_every=2)
+
+    print(f"\nGIN      OOD ROC-AUC = {gin_trainer.evaluate(test):.3f}")
+    print(f"OOD-GNN  OOD ROC-AUC = {trainer.evaluate(test):.3f}")
+
+    # --- 4. what do the weights emphasise? ----------------------------
+    majority = {s: np.mean(v) >= 0.5 for s, v in by_scaffold.items()}
+    batch = GraphBatch.from_graphs(dataset.train)
+    z = model.representations(batch).data
+    weights = trainer.weight_learner.learn(z).weights
+    agrees = np.array([majority[g.meta["scaffold"]] == bool(label_of(g)) for g in dataset.train])
+    print(f"\nmean learned weight | label agrees with scaffold majority:    {weights[agrees].mean():.3f}")
+    print(f"mean learned weight | label disagrees (counter-examples):     {weights[~agrees].mean():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: train OOD-GNN on a size-shifted protein dataset.
+
+Generates the PROTEINS25 benchmark (train on 5-25 node graphs, test on
+strictly larger ones) and compares the GIN baseline with OOD-GNN under
+the library's standard experiment protocol (``repro.bench``), averaged
+over three seeds — the same machinery the benchmark harness uses.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentProtocol, run_method_multi_seed
+from repro.core import OODGNN, OODGNNConfig, OODGNNTrainer
+from repro.datasets import load_dataset
+
+SEEDS = (0, 1, 2)
+
+
+def main() -> None:
+    sample = load_dataset("proteins25", seed=0, scale=0.6)
+    test_split = "Test(large)"
+    print(f"dataset: {sample.info.name}  train={len(sample.train)}  "
+          f"OOD test={len(sample.tests[test_split])} (per seed)")
+    print(f"train sizes <= {max(g.num_nodes for g in sample.train)} nodes, "
+          f"test sizes >= {min(g.num_nodes for g in sample.tests[test_split])} nodes\n")
+
+    protocol = ExperimentProtocol(epochs=30, batch_size=32, hidden_dim=32,
+                                  num_layers=3, eval_every=0)
+    factory = lambda seed: load_dataset("proteins25", seed=seed, scale=0.6)
+    for method in ("gin", "ood-gnn"):
+        result = run_method_multi_seed(method, factory, SEEDS, protocol)
+        print(f"{method:8s} train={result.train_mean:.3f}  "
+              f"OOD accuracy = {result.test_mean[test_split]:.3f} "
+              f"± {result.test_std[test_split]:.3f}")
+
+    # Peek inside the reweighting machinery on one trained model.
+    dataset = factory(0)
+    config = OODGNNConfig(hidden_dim=32, num_layers=3, epochs=30, batch_size=32)
+    model = OODGNN(dataset.info.feature_dim, dataset.info.model_out_dim,
+                   np.random.default_rng(7919), config=config)
+    trainer = OODGNNTrainer(model, dataset.info.task_type,
+                            np.random.default_rng(104729), config=config)
+    history = trainer.fit(dataset.train)
+    weights = history.final_weights
+    print(f"\nlearned sample weights (last epoch): mean={weights.mean():.3f} "
+          f"std={weights.std():.3f} range=[{weights.min():.2f}, {weights.max():.2f}]")
+
+
+if __name__ == "__main__":
+    main()

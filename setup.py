@@ -1,0 +1,18 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+fully offline environments (no ``wheel`` package available): pip falls back
+to the legacy ``setup.py develop`` path via ``--no-use-pep517``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description="Reproduction of OOD-GNN (Li et al.) on a from-scratch numpy GNN stack",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

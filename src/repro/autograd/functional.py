@@ -1,0 +1,129 @@
+"""Composite differentiable functions built on :class:`~repro.autograd.Tensor`.
+
+Includes the numerically-stable softmax family and the segment reductions
+that power message passing and graph pooling (`segment_sum`, `segment_mean`,
+`segment_max`).  Segment reductions operate over the leading axis and group
+rows by an integer segment id, exactly like ``torch_scatter``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, maximum, stack, where
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "dropout",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+]
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = as_tensor(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    out = shifted.exp().sum(axis=axis, keepdims=True).log() + shift
+    return out if keepdims else out.squeeze(axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax along ``axis``, computed stably."""
+    x = as_tensor(x)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``, computed via :func:`log_softmax`."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return x
+    keep = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def _as_segment_ids(segment_ids) -> np.ndarray:
+    ids = segment_ids.data if isinstance(segment_ids, Tensor) else segment_ids
+    return np.asarray(ids, dtype=np.int64)
+
+
+def segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets given by ``segment_ids``.
+
+    ``x`` has shape ``(n, ...)`` and ``segment_ids`` shape ``(n,)``; the
+    result has shape ``(num_segments, ...)``.  Empty segments are zero.
+    """
+    x = as_tensor(x)
+    ids = _as_segment_ids(segment_ids)
+    out_shape = (num_segments,) + x.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, ids, x.data)
+    if not (is_grad_enabled() and (x.requires_grad or x._parents)):
+        return Tensor(out_data)
+    return Tensor._make(out_data, [(x, lambda g: g[ids])])
+
+
+def segment_mean(x: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Mean-reduce rows per segment; empty segments yield zeros."""
+    ids = _as_segment_ids(segment_ids)
+    counts = np.bincount(ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    total = segment_sum(x, ids, num_segments)
+    shape = (num_segments,) + (1,) * (total.ndim - 1)
+    return total * Tensor(1.0 / counts.reshape(shape))
+
+
+def segment_max(x: Tensor, segment_ids, num_segments: int, empty_value: float = 0.0) -> Tensor:
+    """Max-reduce rows per segment; empty segments yield ``empty_value``.
+
+    Gradient is routed to the (first-encountered) argmax element of each
+    segment, matching the convention of ``scatter_max``.
+    """
+    x = as_tensor(x)
+    ids = _as_segment_ids(segment_ids)
+    out_shape = (num_segments,) + x.shape[1:]
+    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out_data, ids, x.data)
+    empty = ~np.isfinite(out_data)
+    out_data[empty] = empty_value
+    if not (is_grad_enabled() and (x.requires_grad or x._parents)):
+        return Tensor(out_data)
+
+    def grad_fn(g):
+        # A row contributes iff it equals its segment's max; split gradient
+        # evenly among ties for symmetry.
+        winners = (x.data == out_data[ids]).astype(np.float64)
+        tie_counts = np.zeros(out_shape, dtype=np.float64)
+        np.add.at(tie_counts, ids, winners)
+        tie_counts = np.maximum(tie_counts, 1.0)
+        return winners * g[ids] / tie_counts[ids]
+
+    return Tensor._make(out_data, [(x, grad_fn)])
+
+
+def segment_softmax(x: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Softmax of ``x`` computed independently within each segment.
+
+    Used by attention-based pooling; ``x`` may be ``(n,)`` or ``(n, d)``.
+    """
+    x = as_tensor(x)
+    ids = _as_segment_ids(segment_ids)
+    seg_max = segment_max(x.detach(), ids, num_segments)
+    shifted = x - seg_max[ids]
+    exp = shifted.exp()
+    denominator = segment_sum(exp, ids, num_segments)
+    return exp / (denominator[ids] + 1e-16)

@@ -1,0 +1,627 @@
+"""The :class:`Tensor` class and its primitive differentiable operations.
+
+The engine is a classic define-by-run tape: every operation on tensors with
+``requires_grad=True`` records its parents together with a closure that maps
+the output gradient to a gradient contribution for that parent.
+:meth:`Tensor.backward` walks the recorded graph in reverse topological
+order and accumulates gradients.
+
+Only the operations the reproduction actually needs are implemented; each
+one handles numpy broadcasting by summing gradient contributions over the
+broadcast axes (see :func:`_unbroadcast`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd tape."""
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables tape recording (like ``torch.no_grad``)."""
+    previous = is_grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape`` after a broadcast op.
+
+    Numpy broadcasting may have (a) prepended axes and (b) stretched
+    length-1 axes.  The adjoint of broadcasting is summation over exactly
+    those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, scalar, list) to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy array plus an optional gradient and autograd history.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Floating point data is kept in
+        float64 for numerically stable finite-difference checks.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, _parents=None, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind in "fc":
+            arr = arr.astype(np.float64, copy=False)
+        elif requires_grad:
+            arr = arr.astype(np.float64)
+        self.data = arr
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        # List of (parent_tensor, grad_fn) pairs; grad_fn: ndarray -> ndarray.
+        self._parents = _parents if (_parents and is_grad_enabled()) else []
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Numpy dtype of the underlying array."""
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        """Transposed view (differentiable)."""
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); breaks the tape."""
+        return self.data
+
+    def item(self) -> float:
+        """The single scalar value of a one-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Deep copy of the data, detached from the tape."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    def _needs_tape(self, *others: "Tensor") -> bool:
+        if not is_grad_enabled():
+            return False
+        return self.requires_grad or any(o.requires_grad for o in others)
+
+    @staticmethod
+    def _make(data, parents) -> "Tensor":
+        live = [(p, fn) for p, fn in parents if p.requires_grad or p._parents]
+        out = Tensor(data, requires_grad=bool(live), _parents=live)
+        return out
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to ``1`` which requires this tensor to be a scalar.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
+                )
+
+        # Reverse topological order over the recorded graph.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent, _fn in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+            for parent, fn in node._parents:
+                contribution = fn(node_grad)
+                if contribution is None:
+                    continue
+                existing = grads.get(id(parent))
+                grads[id(parent)] = (
+                    contribution if existing is None else existing + contribution
+                )
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+        if not self._needs_tape(other):
+            return Tensor(out_data)
+        return self._make(
+            out_data,
+            [
+                (self, lambda g: _unbroadcast(g, self.shape)),
+                (other, lambda g: _unbroadcast(g, other.shape)),
+            ],
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        if not self._needs_tape():
+            return Tensor(-self.data)
+        return self._make(-self.data, [(self, lambda g: -g)])
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+        if not self._needs_tape(other):
+            return Tensor(out_data)
+        a_data, b_data = self.data, other.data
+        return self._make(
+            out_data,
+            [
+                (self, lambda g: _unbroadcast(g * b_data, self.shape)),
+                (other, lambda g: _unbroadcast(g * a_data, other.shape)),
+            ],
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+        if not self._needs_tape(other):
+            return Tensor(out_data)
+        a_data, b_data = self.data, other.data
+        return self._make(
+            out_data,
+            [
+                (self, lambda g: _unbroadcast(g / b_data, self.shape)),
+                (other, lambda g: _unbroadcast(-g * a_data / (b_data**2), other.shape)),
+            ],
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+        if not self._needs_tape():
+            return Tensor(out_data)
+        base = self.data
+        return self._make(
+            out_data,
+            [(self, lambda g: g * exponent * base ** (exponent - 1))],
+        )
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+        if not self._needs_tape(other):
+            return Tensor(out_data)
+        a_data, b_data = self.data, other.data
+
+        def grad_a(g):
+            if b_data.ndim == 1:
+                return np.outer(g, b_data) if a_data.ndim == 2 else g * b_data
+            ga = g @ np.swapaxes(b_data, -1, -2)
+            return _unbroadcast(ga, a_data.shape)
+
+        def grad_b(g):
+            if a_data.ndim == 1:
+                return np.outer(a_data, g) if b_data.ndim == 2 else g * a_data
+            gb = np.swapaxes(a_data, -1, -2) @ g
+            return _unbroadcast(gb, b_data.shape)
+
+        return self._make(out_data, [(self, grad_a), (other, grad_b)])
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable, return plain numpy bools)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        return self._make(out_data, [(self, lambda g: g * out_data)])
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        out_data = np.log(self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        base = self.data
+        return self._make(out_data, [(self, lambda g: g / base)])
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        out_data = np.sqrt(self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        return self._make(out_data, [(self, lambda g: g * 0.5 / out_data)])
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient sign(x))."""
+        out_data = np.abs(self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        sign = np.sign(self.data)
+        return self._make(out_data, [(self, lambda g: g * sign)])
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        return self._make(out_data, [(self, lambda g: g * (1.0 - out_data**2))])
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid (input clipped for stability)."""
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        if not self._needs_tape():
+            return Tensor(out_data)
+        return self._make(out_data, [(self, lambda g: g * out_data * (1.0 - out_data))])
+
+    def relu(self) -> "Tensor":
+        """Elementwise max(x, 0)."""
+        out_data = np.maximum(self.data, 0.0)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        mask = self.data > 0
+        return self._make(out_data, [(self, lambda g: g * mask)])
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        """Elementwise leaky ReLU with the given negative slope."""
+        factor = np.where(self.data > 0, 1.0, negative_slope)
+        out_data = self.data * factor
+        if not self._needs_tape():
+            return Tensor(out_data)
+        return self._make(out_data, [(self, lambda g: g * factor)])
+
+    def cos(self) -> "Tensor":
+        """Elementwise cosine."""
+        out_data = np.cos(self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        base = self.data
+        return self._make(out_data, [(self, lambda g: -g * np.sin(base))])
+
+    def sin(self) -> "Tensor":
+        """Elementwise sine."""
+        out_data = np.sin(self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        base = self.data
+        return self._make(out_data, [(self, lambda g: g * np.cos(base))])
+
+    def clip(self, low: float | None, high: float | None) -> "Tensor":
+        """Clamp values to [low, high]; gradient is zero outside."""
+        out_data = np.clip(self.data, low, high)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        mask = np.ones_like(self.data)
+        if low is not None:
+            mask = mask * (self.data >= low)
+        if high is not None:
+            mask = mask * (self.data <= high)
+        return self._make(out_data, [(self, lambda g: g * mask)])
+
+    def softplus(self) -> "Tensor":
+        """Elementwise log(1 + exp(x)), computed stably."""
+        # Numerically stable log(1 + exp(x)).
+        out_data = np.logaddexp(0.0, self.data)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        return self._make(out_data, [(self, lambda g: g * sig)])
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when None)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        shape = self.shape
+
+        def grad_fn(g):
+            if axis is None:
+                return np.broadcast_to(g, shape).copy()
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return np.broadcast_to(g_exp, shape).copy()
+
+        return self._make(out_data, [(self, grad_fn)])
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Population variance over ``axis``."""
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def std(self, axis=None, keepdims: bool = False, eps: float = 1e-12) -> "Tensor":
+        """Standard deviation over ``axis`` (eps-stabilised)."""
+        return (self.var(axis=axis, keepdims=keepdims) + eps).sqrt()
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties split the gradient evenly."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        base = self.data
+
+        def grad_fn(g):
+            if axis is None:
+                mask = base == out_data
+                return np.where(mask, 1.0, 0.0) / mask.sum() * g
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+            mask = base == expanded
+            counts = mask.sum(axis=axis, keepdims=True)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return mask * (g_exp / counts)
+
+        return self._make(out_data, [(self, grad_fn)])
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum over ``axis`` (via ``-max(-x)``)."""
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """View with a new shape (differentiable)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        original = self.shape
+        return self._make(out_data, [(self, lambda g: g.reshape(original))])
+
+    def transpose(self, axes=None) -> "Tensor":
+        """Permute axes (defaults to full reversal)."""
+        out_data = self.data.transpose(axes)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        if axes is None:
+            inverse = None
+        else:
+            inverse = tuple(np.argsort(axes))
+        return self._make(out_data, [(self, lambda g: g.transpose(inverse))])
+
+    def squeeze(self, axis=None) -> "Tensor":
+        """Drop length-1 axes."""
+        out_data = self.data.squeeze(axis)
+        original = self.shape
+        if not self._needs_tape():
+            return Tensor(out_data)
+        return self._make(out_data, [(self, lambda g: g.reshape(original))])
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        """Insert a length-1 axis at ``axis``."""
+        out_data = np.expand_dims(self.data, axis)
+        if not self._needs_tape():
+            return Tensor(out_data)
+        return self._make(out_data, [(self, lambda g: np.squeeze(g, axis=axis))])
+
+    def broadcast_to(self, shape) -> "Tensor":
+        """Broadcast to ``shape``; the adjoint sums over broadcast axes."""
+        out_data = np.broadcast_to(self.data, shape)
+        if not self._needs_tape():
+            return Tensor(out_data.copy())
+        original = self.shape
+        return self._make(out_data.copy(), [(self, lambda g: _unbroadcast(g, original))])
+
+    def __getitem__(self, index) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data
+        out_data = self.data[index]
+        if not self._needs_tape():
+            return Tensor(out_data)
+        shape = self.shape
+
+        def grad_fn(g):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, index, g)
+            return full
+
+        return self._make(out_data, [(self, grad_fn)])
+
+    # ------------------------------------------------------------------
+    # Scatter / segment primitives (the core of message passing)
+    # ------------------------------------------------------------------
+    def index_add(self, index: np.ndarray, source: "Tensor") -> "Tensor":
+        """Return ``self`` with ``source`` rows scatter-added at ``index``.
+
+        Equivalent to ``out = self.copy(); out[index] += source`` with
+        duplicate indices accumulating, differentiable in both operands.
+        """
+        source = as_tensor(source)
+        index = np.asarray(index, dtype=np.int64)
+        out_data = self.data.copy()
+        np.add.at(out_data, index, source.data)
+        if not self._needs_tape(source):
+            return Tensor(out_data)
+        return self._make(
+            out_data,
+            [(self, lambda g: g), (source, lambda g: g[index])],
+        )
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    """Differentiable ``np.concatenate`` over a list of tensors."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not any(t.requires_grad or t._parents for t in tensors) or not is_grad_enabled():
+        return Tensor(out_data)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    parents = []
+    for i, t in enumerate(tensors):
+        start, stop = offsets[i], offsets[i + 1]
+
+        def grad_fn(g, start=start, stop=stop):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, stop)
+            return g[tuple(slicer)]
+
+        parents.append((t, grad_fn))
+    return Tensor._make(out_data, parents)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Differentiable ``np.stack``."""
+    tensors = [t.unsqueeze(axis) for t in map(as_tensor, tensors)]
+    return concatenate(tensors, axis=axis)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Differentiable ``np.where`` with a boolean (non-tensor) condition."""
+    condition = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.where(condition, a.data, b.data)
+    if not (is_grad_enabled() and (a.requires_grad or a._parents or b.requires_grad or b._parents)):
+        return Tensor(out_data)
+    return Tensor._make(
+        out_data,
+        [
+            (a, lambda g: _unbroadcast(np.where(condition, g, 0.0), a.shape)),
+            (b, lambda g: _unbroadcast(np.where(condition, 0.0, g), b.shape)),
+        ],
+    )
+
+
+def maximum(a, b) -> Tensor:
+    """Differentiable elementwise maximum (ties send gradient to ``a``)."""
+    a, b = as_tensor(a), as_tensor(b)
+    return where(a.data >= b.data, a, b)

@@ -1,0 +1,13 @@
+"""Benchmark support: shared experiment protocol and table formatting."""
+
+from repro.bench.runner import ExperimentProtocol, run_method, run_method_multi_seed, MethodResult
+from repro.bench.tables import format_table, format_series
+
+__all__ = [
+    "ExperimentProtocol",
+    "run_method",
+    "run_method_multi_seed",
+    "MethodResult",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,129 @@
+"""Shared experiment protocol for the table/figure reproductions.
+
+Every benchmark trains methods under the same protocol the paper uses:
+train on the training split, select the best checkpoint by validation
+metric (the validation split is drawn from the training distribution),
+evaluate once on the OOD test split(s), and report mean ± std over
+repeated seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import DatasetSplits
+from repro.encoders.models import build_model, compute_pna_degree_scale
+from repro.training.trainer import Trainer, TrainerConfig
+from repro.core.ood_gnn import OODGNN, OODGNNConfig, OODGNNTrainer
+
+__all__ = ["ExperimentProtocol", "MethodResult", "run_method", "run_method_multi_seed"]
+
+
+@dataclass
+class ExperimentProtocol:
+    """Training protocol shared by all methods in one experiment."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    lr: float = 1e-3
+    hidden_dim: int = 32
+    num_layers: int = 3
+    weight_decay: float = 1e-4
+    eval_every: int = 2
+    ood_overrides: dict = field(default_factory=dict)
+
+
+@dataclass
+class MethodResult:
+    """Mean/std of train and per-test-split metrics over seeds."""
+
+    method: str
+    train_mean: float
+    train_std: float
+    test_mean: dict
+    test_std: dict
+
+    def row(self, split: str) -> str:
+        """``mean±std`` cell for the given test split."""
+        return f"{self.test_mean[split]:.3f}±{self.test_std[split]:.3f}"
+
+
+def run_method(
+    method: str,
+    dataset: DatasetSplits,
+    seed: int,
+    protocol: ExperimentProtocol,
+):
+    """Train one method once; return (train_metric, {split: metric}).
+
+    ``method`` is either ``"ood-gnn"`` or a baseline name accepted by
+    :func:`repro.encoders.build_model`.
+    """
+    info = dataset.info
+    model_rng = np.random.default_rng((seed + 1) * 7919)
+    train_rng = np.random.default_rng((seed + 1) * 104729)
+    if method == "ood-gnn":
+        cfg = OODGNNConfig(
+            hidden_dim=protocol.hidden_dim,
+            num_layers=protocol.num_layers,
+            epochs=protocol.epochs,
+            batch_size=protocol.batch_size,
+            lr=protocol.lr,
+            weight_decay=protocol.weight_decay,
+            **protocol.ood_overrides,
+        )
+        model = OODGNN(info.feature_dim, info.model_out_dim, model_rng, config=cfg)
+        trainer = OODGNNTrainer(model, info.task_type, train_rng, metric=info.metric, config=cfg)
+        trainer.fit(dataset.train, dataset.valid, eval_every=protocol.eval_every)
+    else:
+        model = build_model(
+            method,
+            info.feature_dim,
+            info.model_out_dim,
+            model_rng,
+            hidden_dim=protocol.hidden_dim,
+            num_layers=protocol.num_layers,
+            pna_degree_scale=compute_pna_degree_scale(dataset.train),
+        )
+        tcfg = TrainerConfig(
+            epochs=protocol.epochs,
+            batch_size=protocol.batch_size,
+            lr=protocol.lr,
+            weight_decay=protocol.weight_decay,
+            eval_every=protocol.eval_every,
+        )
+        trainer = Trainer(model, info.task_type, tcfg, train_rng, metric=info.metric)
+        trainer.fit(dataset.train, dataset.valid)
+    train_metric = trainer.evaluate(dataset.train)
+    test_metrics = {name: trainer.evaluate(split) for name, split in dataset.tests.items()}
+    return train_metric, test_metrics
+
+
+def run_method_multi_seed(
+    method: str,
+    dataset_factory,
+    seeds,
+    protocol: ExperimentProtocol,
+) -> MethodResult:
+    """Repeat :func:`run_method` over seeds with fresh datasets per seed.
+
+    ``dataset_factory(seed)`` regenerates the dataset so that both data
+    and initialisation randomness enter the reported std, as in the
+    paper's "10 repeated experiments".
+    """
+    trains, tests = [], []
+    for seed in seeds:
+        dataset = dataset_factory(seed)
+        train_metric, test_metrics = run_method(method, dataset, seed, protocol)
+        trains.append(train_metric)
+        tests.append(test_metrics)
+    split_names = tests[0].keys()
+    return MethodResult(
+        method=method,
+        train_mean=float(np.mean(trains)),
+        train_std=float(np.std(trains)),
+        test_mean={s: float(np.mean([t[s] for t in tests])) for s in split_names},
+        test_std={s: float(np.std([t[s] for t in tests])) for s in split_names},
+    )

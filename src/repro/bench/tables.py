@@ -1,0 +1,30 @@
+"""Plain-text rendering of result tables and ablation curves.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep the formatting consistent across benches.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(title: str, columns: list, rows: dict) -> str:
+    """Render ``{method: [cell, ...]}`` as an aligned text table."""
+    widths = [max(len(str(c)), 12) for c in columns]
+    name_width = max((len(m) for m in rows), default=10)
+    lines = [title, "-" * len(title)]
+    header = " " * (name_width + 2) + "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    for method, cells in rows.items():
+        cells = [str(c).rjust(w) for c, w in zip(cells, widths)]
+        lines.append(f"{method.ljust(name_width)}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(title: str, xs: list, ys: list, y_label: str = "value") -> str:
+    """Render an (x, y) sweep as the text analogue of a paper figure."""
+    lines = [title, "-" * len(title)]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {str(x).rjust(10)}  ->  {y_label} {y:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""OOD-GNN core: nonlinear representation decorrelation via RFF + reweighting.
+
+This package implements the paper's contribution:
+
+* :mod:`repro.core.rff` — the random-Fourier-feature function space
+  ``H_RFF`` of Eq. (4).
+* :mod:`repro.core.hsic` — HSIC and the (weighted) partial
+  cross-covariance of Eqs. (3) and (5).
+* :mod:`repro.core.decorrelation` — the decorrelation objective over all
+  dimension pairs (Eq. (7)/(10)) and the projected sample-weight
+  optimiser.
+* :mod:`repro.core.global_local` — the global-local weight estimator with
+  momentum memory groups (Eqs. (8) and (9)).
+* :mod:`repro.core.ood_gnn` — the OOD-GNN model and the Algorithm-1
+  training procedure.
+"""
+
+from repro.core.rff import RandomFourierFeatures
+from repro.core.hsic import hsic_gaussian, weighted_cross_covariance, pairwise_decorrelation_loss
+from repro.core.decorrelation import SampleWeightLearner, project_weights
+from repro.core.global_local import GlobalLocalWeightEstimator
+from repro.core.ood_gnn import OODGNN, OODGNNConfig, OODGNNTrainer
+
+__all__ = [
+    "RandomFourierFeatures",
+    "hsic_gaussian",
+    "weighted_cross_covariance",
+    "pairwise_decorrelation_loss",
+    "SampleWeightLearner",
+    "project_weights",
+    "GlobalLocalWeightEstimator",
+    "OODGNN",
+    "OODGNNConfig",
+    "OODGNNTrainer",
+]

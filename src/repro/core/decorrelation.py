@@ -1,0 +1,182 @@
+"""Sample-weight learning for representation decorrelation (Eq. (10)).
+
+:class:`SampleWeightLearner` runs the inner optimisation loop of
+Algorithm 1 (lines 6-8): given the concatenated global+local graph
+representations it learns the local weights that minimise the pairwise
+decorrelation loss, under the paper's constraints — weights stay
+non-negative, average to one (``sum w = N``), and carry an l2 penalty to
+avoid degenerate solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, concatenate
+from repro.core.hsic import pairwise_decorrelation_loss
+from repro.core.rff import RandomFourierFeatures
+from repro.nn.optim import Adam
+
+__all__ = ["SampleWeightLearner", "project_weights", "WeightLearningResult"]
+
+
+def project_weights(weights: np.ndarray, floor: float = 0.0, ceiling: float | None = None) -> np.ndarray:
+    """Project raw weights onto the paper's constraint set.
+
+    Clips below ``floor`` (weights are sample multiplicities, hence
+    non-negative), optionally above ``ceiling`` (bounding how hard a
+    single sample can dominate a batch), and rescales so the mean is
+    exactly 1, i.e. ``sum_n w_n = N`` as required below Eq. (1).
+    """
+    clipped = np.maximum(np.asarray(weights, dtype=np.float64), floor)
+    if ceiling is not None:
+        clipped = np.minimum(clipped, ceiling)
+    total = clipped.sum()
+    # Degenerate (all ~zero) weight vectors reset to uniform; the epsilon
+    # guards against overflow when rescaling subnormal totals.
+    if total <= 1e-12 * clipped.size:
+        return np.ones_like(clipped)
+    return clipped * (clipped.size / total)
+
+
+@dataclass
+class WeightLearningResult:
+    """Outcome of one inner reweighting loop."""
+
+    weights: np.ndarray          # optimised local weights, projected
+    losses: list                 # decorrelation loss per inner epoch
+    initial_loss: float
+    final_loss: float
+
+
+class SampleWeightLearner:
+    """Optimises local sample weights to decorrelate representations.
+
+    Parameters
+    ----------
+    rff:
+        The random-feature sampler (Q, fraction, linear knobs).
+    epochs:
+        ``Epoch_Reweight`` in Algorithm 1 (paper default 20).
+    lr:
+        Adam step size for the weight vector.
+    l2_penalty:
+        Strength of the l2 regulariser on the weights ("the l2-norm is
+        adopted on the weights to prevent degenerated solutions").
+    resample_rff:
+        Draw fresh random features every inner epoch instead of once per
+        outer step.  Off by default: within one inner loop the objective
+        must stay fixed for the optimisation to be well-posed; fresh
+        features are still drawn for every outer training step.
+    standardise:
+        Z-score each representation dimension before the RFF map.  The
+        random frequencies are drawn from N(0, 1) — a unit-bandwidth
+        Gaussian kernel — so inputs must be on unit scale for the
+        dependence estimate to be meaningful (sum-pooled GNN outputs can
+        be orders of magnitude larger).
+    """
+
+    def __init__(
+        self,
+        rff: RandomFourierFeatures,
+        epochs: int = 20,
+        lr: float = 0.1,
+        l2_penalty: float = 0.1,
+        resample_rff: bool = False,
+        standardise: bool = True,
+        max_weight: float = 5.0,
+    ):
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.rff = rff
+        self.epochs = epochs
+        self.lr = lr
+        self.l2_penalty = l2_penalty
+        self.resample_rff = resample_rff
+        self.standardise = standardise
+        self.max_weight = max_weight
+
+    def _prepare(self, representations: np.ndarray) -> np.ndarray:
+        z = np.asarray(representations, dtype=np.float64)
+        if not self.standardise:
+            return z
+        mean = z.mean(axis=0, keepdims=True)
+        std = z.std(axis=0, keepdims=True)
+        return (z - mean) / np.maximum(std, 1e-8)
+
+    def decorrelation_loss(self, representations: np.ndarray, weights) -> Tensor:
+        """Decorrelation objective for given representations and weights."""
+        feats = self.rff(self._prepare(representations))
+        return pairwise_decorrelation_loss(feats, weights)
+
+    def learn(
+        self,
+        representations: np.ndarray,
+        fixed_weights: np.ndarray | None = None,
+        init_local: np.ndarray | None = None,
+    ) -> WeightLearningResult:
+        """Run the inner loop (Algorithm 1, lines 6-8).
+
+        Parameters
+        ----------
+        representations:
+            ``(n, d)`` matrix ``hat-Z``: global groups (if any) stacked on
+            top of the local mini-batch representations.
+        fixed_weights:
+            Weights of the global part (first rows), held constant as in
+            Eq. (10) where only ``W^(l)`` is optimised.  ``None`` means
+            every row is local.
+        init_local:
+            Initial local weights; defaults to all-ones (line 4).
+
+        Returns
+        -------
+        WeightLearningResult
+            Projected optimised local weights plus the loss trajectory.
+        """
+        z = self._prepare(representations)
+        n_total = z.shape[0]
+        n_fixed = 0 if fixed_weights is None else len(fixed_weights)
+        n_local = n_total - n_fixed
+        if n_local <= 0:
+            raise ValueError("no local rows to optimise")
+
+        local_init = np.ones(n_local) if init_local is None else np.asarray(init_local, dtype=np.float64)
+        local = Tensor(local_init.copy(), requires_grad=True)
+        fixed = Tensor(np.asarray(fixed_weights, dtype=np.float64)) if n_fixed else None
+        optimizer = Adam([local], lr=self.lr)
+
+        feats = self.rff(z)
+        losses: list[float] = []
+        initial_loss = None
+        for epoch in range(self.epochs):
+            if self.resample_rff and epoch > 0:
+                feats = self.rff(z)
+            optimizer.zero_grad()
+            raw = concatenate([fixed, local]) if fixed is not None else local
+            # Normalise to mean 1 inside the objective: the loss scales
+            # with the weight magnitude, so without this the gradient is
+            # dominated by the uniform shrink direction that the sum
+            # constraint removes anyway, and the optimiser stalls.
+            weights = raw / raw.mean()
+            loss = pairwise_decorrelation_loss(feats, weights)
+            # Penalise spread around the uniform weighting (degenerate
+            # solutions concentrate all mass on a few samples).
+            deviation = weights - Tensor(np.ones(n_total))
+            penalty = (deviation * deviation).mean() * self.l2_penalty
+            total = loss + penalty
+            if initial_loss is None:
+                initial_loss = float(loss.data)
+            total.backward()
+            optimizer.step()
+            local.data = project_weights(local.data, ceiling=self.max_weight)
+            losses.append(float(loss.data))
+
+        return WeightLearningResult(
+            weights=project_weights(local.data, ceiling=self.max_weight),
+            losses=losses,
+            initial_loss=initial_loss,
+            final_loss=losses[-1],
+        )

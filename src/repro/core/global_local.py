@@ -1,0 +1,106 @@
+"""Global-local weight estimator (Section 3.3, Eqs. (8) and (9)).
+
+Maintains ``K`` groups of global representations ``Z^(g_k)`` and weights
+``W^(g_k)``, each the size of one mini-batch.  Per step the local batch is
+concatenated under the global groups (Eq. (8)) so the weight optimisation
+sees a summary of the whole dataset; afterwards each group is updated by a
+momentum rule (Eq. (9)) with its own coefficient ``gamma_k`` — large gamma
+acts as long-term memory, small gamma as short-term memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GlobalLocalWeightEstimator"]
+
+
+class GlobalLocalWeightEstimator:
+    """Momentum memory of representations and weights across mini-batches.
+
+    Parameters
+    ----------
+    num_groups:
+        K in the paper (default 1).  ``num_groups=0`` disables the global
+        memory entirely — the local-only ablation.
+    momentum:
+        Either a single gamma shared by all groups or one per group.
+    """
+
+    def __init__(self, num_groups: int = 1, momentum=0.9):
+        if num_groups < 0:
+            raise ValueError(f"num_groups must be >= 0, got {num_groups}")
+        if np.isscalar(momentum):
+            momentums = [float(momentum)] * num_groups
+        else:
+            momentums = [float(m) for m in momentum]
+            if len(momentums) != num_groups:
+                raise ValueError(f"need {num_groups} momentum values, got {len(momentums)}")
+        for gamma in momentums:
+            if not 0.0 <= gamma < 1.0:
+                raise ValueError(f"momentum must be in [0, 1), got {gamma}")
+        self.num_groups = num_groups
+        self.momentums = momentums
+        self._z_groups: list[np.ndarray] = []
+        self._w_groups: list[np.ndarray] = []
+
+    @property
+    def initialised(self) -> bool:
+        """Whether the memory groups have been populated."""
+        return len(self._z_groups) == self.num_groups and self.num_groups > 0
+
+    def global_representations(self) -> np.ndarray | None:
+        """Stacked global representations ``(K*|B|, d)`` or None if empty."""
+        if not self.initialised:
+            return None
+        return np.concatenate(self._z_groups, axis=0)
+
+    def global_weights(self) -> np.ndarray | None:
+        """Stacked global weights ``(K*|B|,)`` or None if empty."""
+        if not self.initialised:
+            return None
+        return np.concatenate(self._w_groups, axis=0)
+
+    def concat(self, z_local: np.ndarray, w_local: np.ndarray):
+        """Eq. (8): ``hat-Z = [Z^(g_1) .. Z^(g_K) || Z^(l)]`` and weights.
+
+        Returns ``(z_hat, w_global)`` where ``w_global`` is None when no
+        global memory exists yet (first step, or K = 0).
+        """
+        z_local = np.asarray(z_local, dtype=np.float64)
+        if not self.initialised:
+            return z_local, None
+        z_global = self.global_representations()
+        if z_global.shape[1] != z_local.shape[1]:
+            raise ValueError(
+                f"representation width changed: global {z_global.shape[1]} vs local {z_local.shape[1]}"
+            )
+        return np.concatenate([z_global, z_local], axis=0), self.global_weights()
+
+    def update(self, z_local: np.ndarray, w_local: np.ndarray) -> None:
+        """Eq. (9): momentum update of every global group from the locals.
+
+        The first call simply installs copies of the locals as the initial
+        memory.  Groups only accept batches of the size they were created
+        with (the trainer drops smaller trailing batches).
+        """
+        if self.num_groups == 0:
+            return
+        z_local = np.asarray(z_local, dtype=np.float64)
+        w_local = np.asarray(w_local, dtype=np.float64)
+        if not self._z_groups:
+            self._z_groups = [z_local.copy() for _ in range(self.num_groups)]
+            self._w_groups = [w_local.copy() for _ in range(self.num_groups)]
+            return
+        if z_local.shape != self._z_groups[0].shape:
+            raise ValueError(
+                f"batch shape {z_local.shape} does not match memory shape {self._z_groups[0].shape}"
+            )
+        for k, gamma in enumerate(self.momentums):
+            self._z_groups[k] = gamma * self._z_groups[k] + (1.0 - gamma) * z_local
+            self._w_groups[k] = gamma * self._w_groups[k] + (1.0 - gamma) * w_local
+
+    def reset(self) -> None:
+        """Clear the memory (used between independent training runs)."""
+        self._z_groups = []
+        self._w_groups = []

@@ -1,0 +1,237 @@
+"""OOD-GNN: model assembly and the Algorithm-1 training procedure.
+
+The model is a GIN encoder (the paper's backbone choice, Section 4.1.3)
+with a two-layer MLP classifier.  Training alternates:
+
+1. forward the mini-batch to get local representations ``Z^(l)``;
+2. concatenate with the K global memory groups (Eq. (8));
+3. inner loop — learn local sample weights minimising the RFF
+   decorrelation loss while global weights stay fixed (Eq. (10));
+4. back-propagate the *weighted* prediction loss (Eq. (11));
+5. momentum-update the global memory (Eq. (9)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.graph.data import Graph
+from repro.nn.losses import weighted_prediction_loss
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.encoders.base import StackedEncoder, GraphEncoder
+from repro.encoders.conv import GINConv
+from repro.encoders.models import GraphClassifier
+from repro.core.rff import RandomFourierFeatures
+from repro.core.decorrelation import SampleWeightLearner
+from repro.core.global_local import GlobalLocalWeightEstimator
+from repro.training.loop import iterate_minibatches, evaluate_model
+
+__all__ = ["OODGNN", "OODGNNConfig", "OODGNNTrainer", "OODGNNHistory"]
+
+
+@dataclass
+class OODGNNConfig:
+    """Hyper-parameters of OOD-GNN (paper defaults, Section 4.1.3).
+
+    Attributes
+    ----------
+    hidden_dim:
+        Representation dimensionality d ({64, 256} / {128, 300} in paper).
+    num_layers:
+        GIN message-passing layers (2..6).
+    rff_functions:
+        Q in Eq. (4).  The paper sets Q = 1 with d = 300; at the smaller
+        representation widths used on this substrate the Q = 1 dependence
+        estimate is too noisy, so the default follows the paper's cited
+        result that Q = 5 "is solid enough" (their reference [66]).
+    rff_fraction:
+        Fraction of representation dimensions entering the dependence
+        measure (< 1 gives the 0.2x..0.8x ablation points of Figure 2).
+    linear_decorrelation:
+        The "no RFF" ablation: decorrelate linearly only.
+    reweight_epochs:
+        ``Epoch_Reweight`` (paper default 20).
+    weight_lr / weight_l2:
+        Inner Adam step size and the l2 penalty against degenerate
+        weights.
+    max_weight:
+        Ceiling on any single sample weight (projection bound).
+    warmup_fraction:
+        Fraction of the outer epochs trained with uniform weights before
+        reweighting activates — weights learned on an untrained encoder's
+        representations are noise, so the inner loop waits until the
+        representations carry signal.
+    global_groups / momentum:
+        K memory groups and their gamma (paper: K = 1, gamma = 0.9).
+    epochs / batch_size / lr / grad_clip:
+        Outer loop settings.
+    """
+
+    hidden_dim: int = 64
+    num_layers: int = 3
+    readout: str = "sum"
+    dropout: float = 0.0
+    rff_functions: int = 5
+    rff_fraction: float = 1.0
+    linear_decorrelation: bool = False
+    reweight_epochs: int = 20
+    weight_lr: float = 0.1
+    weight_l2: float = 0.05
+    max_weight: float = 5.0
+    warmup_fraction: float = 0.3
+    global_groups: int = 1
+    momentum: float = 0.9
+    epochs: int = 30
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+
+
+class OODGNN(GraphClassifier):
+    """GIN encoder + MLP head, trained with decorrelating sample weights.
+
+    Structurally identical to the GIN baseline — the paper's point is that
+    the gains come from the reweighting objective, not extra capacity
+    (Section 4.8 parameter counts).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        config: OODGNNConfig | None = None,
+        encoder: GraphEncoder | None = None,
+    ):
+        config = config or OODGNNConfig()
+        if encoder is None:
+            encoder = StackedEncoder(
+                in_dim,
+                config.hidden_dim,
+                config.num_layers,
+                lambda i, o: GINConv(i, o, rng),
+                rng,
+                readout=config.readout,
+                dropout=config.dropout,
+                batch_norm=False,  # GINConv MLPs already batch-normalise
+            )
+        super().__init__(encoder, out_dim, rng)
+        self.config = config
+
+
+@dataclass
+class OODGNNHistory:
+    """Training records used by the Figure 3/4 reproductions."""
+
+    train_loss: list = field(default_factory=list)          # weighted loss per epoch
+    decorrelation_loss: list = field(default_factory=list)  # mean final inner loss per epoch
+    valid_metric: list = field(default_factory=list)
+    final_weights: np.ndarray | None = None                 # last epoch's learned local weights
+    weight_snapshots: list = field(default_factory=list)    # all local weights of the last epoch
+    best_state: dict | None = None
+    best_metric: float | None = None
+
+
+class OODGNNTrainer:
+    """Algorithm 1: iterative optimisation of weights, encoder, classifier."""
+
+    def __init__(
+        self,
+        model: OODGNN,
+        task_type: str,
+        rng: np.random.Generator,
+        metric: str = "accuracy",
+        config: OODGNNConfig | None = None,
+    ):
+        self.model = model
+        self.task_type = task_type
+        self.rng = rng
+        self.metric = metric
+        self.config = config or model.config
+        cfg = self.config
+        self.optimizer = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        rff = RandomFourierFeatures(
+            num_functions=cfg.rff_functions,
+            fraction=cfg.rff_fraction,
+            linear=cfg.linear_decorrelation,
+            rng=np.random.default_rng(rng.integers(2**31)),
+        )
+        self.weight_learner = SampleWeightLearner(
+            rff,
+            epochs=cfg.reweight_epochs,
+            lr=cfg.weight_lr,
+            l2_penalty=cfg.weight_l2,
+            max_weight=cfg.max_weight,
+        )
+        self.estimator = GlobalLocalWeightEstimator(cfg.global_groups, cfg.momentum)
+
+    def _reweight(self, z_local: np.ndarray):
+        """Lines 4-8 of Algorithm 1: learn local weights for this batch."""
+        z_hat, w_global = self.estimator.concat(z_local, np.ones(len(z_local)))
+        return self.weight_learner.learn(z_hat, fixed_weights=w_global)
+
+    def fit(self, train_graphs: list[Graph], valid_graphs: list[Graph] | None = None, eval_every: int = 0) -> OODGNNHistory:
+        """Run Algorithm 1 for ``config.epochs`` epochs."""
+        cfg = self.config
+        history = OODGNNHistory()
+        higher_is_better = self.metric != "rmse"
+        warmup_epochs = int(round(cfg.warmup_fraction * cfg.epochs))
+        for epoch in range(cfg.epochs):
+            epoch_losses, epoch_decorr, epoch_weights = [], [], []
+            last_epoch = epoch == cfg.epochs - 1
+            warming_up = epoch < warmup_epochs
+            for batch in iterate_minibatches(train_graphs, cfg.batch_size, rng=self.rng, drop_last=True):
+                # Line 3: local representations Z^(l) (tape kept for Eq. 11).
+                z = self.model.representations(batch)
+                # Lines 4-8: learn sample weights on detached representations
+                # (uniform during warmup — an untrained encoder's
+                # representations carry no dependence structure to remove).
+                if warming_up:
+                    weights = np.ones(batch.num_graphs)
+                    decorr_loss = float(
+                        self.weight_learner.decorrelation_loss(z.data, Tensor(weights)).data
+                    )
+                else:
+                    result = self._reweight(z.data)
+                    weights = result.weights
+                    decorr_loss = result.final_loss
+                # Line 9: weighted prediction loss, back-propagation.
+                logits = self.model.head(z)
+                self.optimizer.zero_grad()
+                loss = weighted_prediction_loss(logits, batch.y, self.task_type, weights=Tensor(weights))
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                self.optimizer.step()
+                # Line 10: momentum update of the global memory.
+                self.estimator.update(z.data, weights)
+                epoch_losses.append(float(loss.data))
+                epoch_decorr.append(decorr_loss)
+                if last_epoch:
+                    epoch_weights.append(weights)
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.decorrelation_loss.append(float(np.mean(epoch_decorr)))
+            if last_epoch and epoch_weights:
+                history.weight_snapshots = epoch_weights
+                history.final_weights = np.concatenate(epoch_weights)
+            if valid_graphs and eval_every and (epoch + 1) % eval_every == 0:
+                score = evaluate_model(self.model, valid_graphs, self.metric)
+                history.valid_metric.append(score)
+                improved = (
+                    history.best_metric is None
+                    or (higher_is_better and score > history.best_metric)
+                    or (not higher_is_better and score < history.best_metric)
+                )
+                if improved:
+                    history.best_metric = score
+                    history.best_state = self.model.state_dict()
+        if history.best_state is not None:
+            self.model.load_state_dict(history.best_state)
+        return history
+
+    def evaluate(self, graphs: list[Graph], metric: str | None = None) -> float:
+        """Metric of the trained model (testing stage uses Phi*, R* as-is)."""
+        return evaluate_model(self.model, graphs, metric or self.metric)

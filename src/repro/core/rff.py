@@ -1,0 +1,83 @@
+"""Random Fourier features — the function space ``H_RFF`` of Eq. (4).
+
+The paper measures non-linear dependence between representation dimensions
+by mapping each scalar dimension through ``Q`` random functions
+
+    h(z) = sqrt(2) * cos(w * z + phi),   w ~ N(0, 1), phi ~ U(0, 2*pi),
+
+which approximate a Gaussian-kernel feature map (Rahimi & Recht, 2007).
+Two ablation knobs from Figure 2 are supported:
+
+* ``num_functions`` > 1 — the "2x / 5x / 10x" settings (Q per dimension);
+* ``fraction`` < 1 — the "0.2x ... 0.8x" settings, where only a random
+  subset of representation dimensions enters the dependence measure;
+* ``linear=True`` — the "no RFF" variant: the identity map, reducing the
+  criterion to plain (linear) cross-covariance decorrelation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomFourierFeatures"]
+
+
+class RandomFourierFeatures:
+    """Sampler applying ``Q`` random cosine features to every column of Z.
+
+    Parameters
+    ----------
+    num_functions:
+        Q in Eq. (4); the paper's default is 1, with up to 10 in ablations.
+    fraction:
+        If < 1, a random ``fraction`` of the representation dimensions is
+        selected (fresh per call) and only those are decorrelated —
+        the paper's low-budget variant.
+    linear:
+        Use the identity feature map instead (the "no RFF" ablation).
+    rng:
+        Source of randomness; features are resampled on every call, as in
+        StableNet, so the dependence estimate is unbiased across steps.
+    """
+
+    def __init__(
+        self,
+        num_functions: int = 1,
+        fraction: float = 1.0,
+        linear: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        if num_functions < 1:
+            raise ValueError(f"num_functions must be >= 1, got {num_functions}")
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.num_functions = int(num_functions)
+        self.fraction = float(fraction)
+        self.linear = bool(linear)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def select_dimensions(self, dim: int) -> np.ndarray:
+        """Columns of Z participating in this round of decorrelation."""
+        if self.fraction >= 1.0:
+            return np.arange(dim)
+        keep = max(2, int(round(self.fraction * dim)))
+        return np.sort(self.rng.choice(dim, size=min(keep, dim), replace=False))
+
+    def __call__(self, z: np.ndarray) -> np.ndarray:
+        """Map ``(n, d)`` representations to ``(n, d', Q)`` random features.
+
+        ``d'`` is ``d`` unless ``fraction`` < 1.  With ``linear=True`` the
+        output is the selected columns with ``Q = 1``.
+        """
+        z = np.asarray(z, dtype=np.float64)
+        if z.ndim != 2:
+            raise ValueError(f"expected (n, d) representations, got shape {z.shape}")
+        columns = self.select_dimensions(z.shape[1])
+        selected = z[:, columns]
+        if self.linear:
+            return selected[:, :, None]
+        n, d = selected.shape
+        w = self.rng.normal(0.0, 1.0, size=(d, self.num_functions))
+        phi = self.rng.uniform(0.0, 2.0 * np.pi, size=(d, self.num_functions))
+        # (n, d, Q): sqrt(2) cos(w_dq * z_nd + phi_dq)
+        return np.sqrt(2.0) * np.cos(selected[:, :, None] * w[None, :, :] + phi[None, :, :])

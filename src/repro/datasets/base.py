@@ -1,0 +1,115 @@
+"""Dataset containers: task metadata, splits, and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.data import Graph
+
+__all__ = ["DatasetInfo", "DatasetSplits", "dataset_statistics"]
+
+_TASK_TYPES = ("multiclass", "binary", "regression")
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Task metadata mirroring one row of the paper's Table 1.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"TRIANGLES"``, ``"ogbg-molhiv"``).
+    task_type:
+        ``"multiclass"``, ``"binary"`` or ``"regression"``.
+    num_tasks:
+        Output dimensionality (Table 1's #Tasks column).
+    num_classes:
+        Classes for multiclass tasks (e.g. 10 for TRIANGLES digits).
+    metric:
+        ``"accuracy"``, ``"rocauc"`` or ``"rmse"``.
+    split_method:
+        ``"size"``, ``"feature"`` or ``"scaffold"``.
+    feature_dim:
+        Node feature dimensionality.
+    """
+
+    name: str
+    task_type: str
+    num_tasks: int
+    metric: str
+    split_method: str
+    feature_dim: int
+    num_classes: int = 0
+
+    def __post_init__(self):
+        if self.task_type not in _TASK_TYPES:
+            raise ValueError(f"task_type must be one of {_TASK_TYPES}, got {self.task_type!r}")
+        if self.task_type == "multiclass" and self.num_classes < 2:
+            raise ValueError("multiclass tasks need num_classes >= 2")
+
+    @property
+    def model_out_dim(self) -> int:
+        """Width of the prediction head for this task."""
+        return self.num_classes if self.task_type == "multiclass" else self.num_tasks
+
+
+@dataclass
+class DatasetSplits:
+    """A dataset with train / validation / OOD-test splits.
+
+    ``tests`` maps a split name (e.g. ``"Test(large)"``, ``"Test(noise)"``)
+    to its graphs, supporting datasets with several OOD test sets.
+    """
+
+    info: DatasetInfo
+    train: list = field(default_factory=list)
+    valid: list = field(default_factory=list)
+    tests: dict = field(default_factory=dict)
+
+    @property
+    def test(self) -> list:
+        """The single test split (raises if there are several)."""
+        if len(self.tests) != 1:
+            raise ValueError(f"dataset has {len(self.tests)} test splits: {sorted(self.tests)}")
+        return next(iter(self.tests.values()))
+
+    def all_graphs(self) -> list:
+        """Every graph across train, valid and all test splits."""
+        graphs = list(self.train) + list(self.valid)
+        for split in self.tests.values():
+            graphs.extend(split)
+        return graphs
+
+    def summary(self) -> dict:
+        """Per-split sizes plus Table 1 statistics over all graphs."""
+        stats = dataset_statistics(self.all_graphs())
+        stats.update(
+            {
+                "name": self.info.name,
+                "train": len(self.train),
+                "valid": len(self.valid),
+                **{f"test:{k}": len(v) for k, v in self.tests.items()},
+            }
+        )
+        return stats
+
+
+def dataset_statistics(graphs: list) -> dict:
+    """Table-1 style statistics: #graphs, average #nodes / #edges.
+
+    Edge counts are undirected (each stored direction pair counts once),
+    matching how TU / OGB statistics are reported.
+    """
+    if not graphs:
+        return {"num_graphs": 0, "avg_nodes": 0.0, "avg_edges": 0.0}
+    nodes = np.array([g.num_nodes for g in graphs], dtype=np.float64)
+    edges = np.array([g.num_edges / 2.0 for g in graphs], dtype=np.float64)
+    return {
+        "num_graphs": len(graphs),
+        "avg_nodes": float(nodes.mean()),
+        "avg_edges": float(edges.mean()),
+        "min_nodes": int(nodes.min()),
+        "max_nodes": int(nodes.max()),
+    }

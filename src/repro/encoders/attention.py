@@ -1,0 +1,85 @@
+"""Attention and sampling-based convolutions: GAT and GraphSAGE.
+
+Both architectures appear in the paper's related-work discussion (its
+references [6] and [35]); they extend the baseline zoo beyond the eight
+methods of Tables 2-4 and are exposed through the same
+:func:`repro.encoders.build_model` registry (names ``"gat"``, ``"sage"``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.autograd import functional as F
+from repro.graph.segment import segment_sum, segment_mean, segment_softmax
+from repro.graph.utils import add_self_loops
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear
+from repro.nn import init
+
+__all__ = ["GATConv", "SAGEConv"]
+
+
+class GATConv(Module):
+    """Graph attention convolution (Velickovic et al., 2018).
+
+    Multi-head additive attention over the 1-hop neighbourhood (with self
+    loops); head outputs are concatenated, so ``out_dim`` must be
+    divisible by ``num_heads``.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, num_heads: int = 4,
+                 negative_slope: float = 0.2):
+        super().__init__()
+        if out_dim % num_heads:
+            raise ValueError(f"out_dim {out_dim} must be divisible by num_heads {num_heads}")
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.negative_slope = negative_slope
+        self.linear = Linear(in_dim, out_dim, rng, bias=False)
+        # Attention vectors a = [a_src || a_dst] per head.
+        self.att_src = Parameter(init.xavier_uniform((num_heads, self.head_dim), rng), name="att_src")
+        self.att_dst = Parameter(init.xavier_uniform((num_heads, self.head_dim), rng), name="att_dst")
+        self.bias = Parameter(init.zeros((out_dim,)), name="bias")
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        """Multi-head attention over the (self-looped) neighbourhood."""
+        looped = add_self_loops(edge_index, num_nodes)
+        src, dst = looped
+        h = self.linear(x).reshape(num_nodes, self.num_heads, self.head_dim)
+        # Additive attention logits per edge and head.
+        alpha_src = (h * self.att_src).sum(axis=2)  # (n, heads)
+        alpha_dst = (h * self.att_dst).sum(axis=2)
+        logits = (alpha_src[src] + alpha_dst[dst]).leaky_relu(self.negative_slope)
+        attention = segment_softmax(logits, dst, num_nodes)  # normalised over incoming edges
+        messages = h[src] * attention.unsqueeze(2)
+        out = segment_sum(messages, dst, num_nodes)
+        return out.reshape(num_nodes, self.num_heads * self.head_dim) + self.bias
+
+
+class SAGEConv(Module):
+    """GraphSAGE convolution (Hamilton et al., 2017), mean aggregator.
+
+    ``h' = W_self x + W_neigh mean_{u in N(v)} x_u`` with optional L2
+    output normalisation as in the original paper.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, normalise: bool = False):
+        super().__init__()
+        self.self_linear = Linear(in_dim, out_dim, rng)
+        self.neigh_linear = Linear(in_dim, out_dim, rng, bias=False)
+        self.normalise = normalise
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        """Combine self features with the neighbourhood mean."""
+        if edge_index.size:
+            src, dst = edge_index
+            neigh = segment_mean(x[src], dst, num_nodes)
+        else:
+            neigh = x * 0.0
+        out = self.self_linear(x) + self.neigh_linear(neigh)
+        if self.normalise:
+            norms = (out * out).sum(axis=1, keepdims=True).sqrt() + 1e-12
+            out = out / norms
+        return out

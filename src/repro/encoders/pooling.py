@@ -1,0 +1,120 @@
+"""Graph pooling: global readouts and hierarchical TopK / SAG pooling.
+
+The hierarchical pooling layers implement the per-graph top-k selection
+shared by TopKPool (Gao & Ji, 2019) and SAGPool (Lee et al., 2019): nodes
+are scored, the best ``ceil(ratio * n)`` nodes of every graph survive, the
+induced subgraph is kept and surviving features are gated by the score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.graph.segment import segment_sum, segment_mean, segment_max
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.encoders.conv import GCNConv
+
+__all__ = [
+    "global_sum_pool",
+    "global_mean_pool",
+    "global_max_pool",
+    "topk_select",
+    "filter_edges",
+    "TopKPooling",
+    "SAGPooling",
+]
+
+
+def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Sum node features per graph -> ``(num_graphs, d)``."""
+    return segment_sum(x, batch, num_graphs)
+
+
+def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Average node features per graph -> ``(num_graphs, d)``."""
+    return segment_mean(x, batch, num_graphs)
+
+
+def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Max node features per graph -> ``(num_graphs, d)``."""
+    return segment_max(x, batch, num_graphs)
+
+
+def topk_select(scores: np.ndarray, batch: np.ndarray, num_graphs: int, ratio: float) -> np.ndarray:
+    """Indices of the top ``ceil(ratio * n_g)`` nodes per graph.
+
+    Selection is a discrete (non-differentiable) choice, mirroring PyG:
+    gradients flow through the gathered features and gates, not the
+    selection itself.
+    """
+    keep: list[np.ndarray] = []
+    order = np.lexsort((-scores, batch))  # grouped by graph, descending score
+    sorted_batch = batch[order]
+    boundaries = np.searchsorted(sorted_batch, np.arange(num_graphs + 1))
+    for g in range(num_graphs):
+        start, stop = boundaries[g], boundaries[g + 1]
+        n = stop - start
+        if n == 0:
+            continue
+        k = max(1, int(np.ceil(ratio * n)))
+        keep.append(order[start : start + k])
+    selected = np.concatenate(keep) if keep else np.zeros(0, dtype=np.int64)
+    return np.sort(selected)
+
+
+def filter_edges(edge_index: np.ndarray, kept_nodes: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Induced-subgraph connectivity after keeping ``kept_nodes``.
+
+    Returns a re-indexed ``(2, e')`` edge index over the surviving nodes
+    (which are renumbered ``0..len(kept_nodes)-1`` in sorted order).
+    """
+    position = np.full(num_nodes, -1, dtype=np.int64)
+    position[kept_nodes] = np.arange(len(kept_nodes))
+    if edge_index.size == 0:
+        return edge_index.reshape(2, 0)
+    src, dst = position[edge_index[0]], position[edge_index[1]]
+    mask = (src >= 0) & (dst >= 0)
+    return np.stack([src[mask], dst[mask]])
+
+
+class TopKPooling(Module):
+    """TopK pooling: score ``s = X p / ||p||``, keep top nodes, gate by tanh(s)."""
+
+    def __init__(self, in_dim: int, rng: np.random.Generator, ratio: float = 0.5):
+        super().__init__()
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.projection = Parameter(init.xavier_uniform((in_dim, 1), rng), name="projection")
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, batch: np.ndarray, num_graphs: int):
+        """Score, select, gate; returns (features, edges, batch) of survivors."""
+        norm = float(np.linalg.norm(self.projection.data)) + 1e-12
+        scores = (x @ self.projection).squeeze(1) * (1.0 / norm)
+        kept = topk_select(scores.data, batch, num_graphs, self.ratio)
+        gate = scores[kept].tanh().unsqueeze(1)
+        new_x = x[kept] * gate
+        new_edges = filter_edges(edge_index, kept, x.shape[0])
+        return new_x, new_edges, batch[kept]
+
+
+class SAGPooling(Module):
+    """Self-attention pooling: scores from a GCN conv over the graph."""
+
+    def __init__(self, in_dim: int, rng: np.random.Generator, ratio: float = 0.5):
+        super().__init__()
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.score_conv = GCNConv(in_dim, 1, rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, batch: np.ndarray, num_graphs: int):
+        """GCN-scored top-k selection; returns the surviving subgraph."""
+        scores = self.score_conv(x, edge_index, x.shape[0]).squeeze(1)
+        kept = topk_select(scores.data, batch, num_graphs, self.ratio)
+        gate = scores[kept].tanh().unsqueeze(1)
+        new_x = x[kept] * gate
+        new_edges = filter_edges(edge_index, kept, x.shape[0])
+        return new_x, new_edges, batch[kept]

@@ -1,0 +1,74 @@
+"""Random graph generators used by the synthetic dataset suite.
+
+Wraps networkx generators into :class:`~repro.graph.data.Graph` objects and
+adds the structured constructors the datasets need (triangle planting,
+ego-collaboration networks, protein-like backbones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.graph.data import Graph
+from repro.graph.utils import undirected_edge_index
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "stochastic_block",
+    "graph_from_edge_set",
+    "random_tree_edges",
+]
+
+
+def _graph_from_nx(g: nx.Graph, feature_dim: int = 1) -> Graph:
+    n = g.number_of_nodes()
+    relabel = {node: i for i, node in enumerate(sorted(g.nodes()))}
+    pairs = [(relabel[u], relabel[v]) for u, v in g.edges()]
+    return Graph(x=np.ones((n, feature_dim)), edge_index=undirected_edge_index(pairs))
+
+
+def erdos_renyi(num_nodes: int, p: float, rng: np.random.Generator) -> Graph:
+    """G(n, p) random graph."""
+    g = nx.gnp_random_graph(num_nodes, p, seed=int(rng.integers(2**31)))
+    return _graph_from_nx(g)
+
+
+def barabasi_albert(num_nodes: int, attachment: int, rng: np.random.Generator) -> Graph:
+    """Preferential-attachment graph with ``attachment`` edges per new node."""
+    attachment = min(attachment, max(1, num_nodes - 1))
+    g = nx.barabasi_albert_graph(num_nodes, attachment, seed=int(rng.integers(2**31)))
+    return _graph_from_nx(g)
+
+
+def watts_strogatz(num_nodes: int, k: int, p: float, rng: np.random.Generator) -> Graph:
+    """Small-world ring lattice with rewiring probability ``p``."""
+    k = min(k, num_nodes - 1)
+    if k % 2:
+        k = max(2, k - 1)
+    g = nx.watts_strogatz_graph(num_nodes, k, p, seed=int(rng.integers(2**31)))
+    return _graph_from_nx(g)
+
+
+def stochastic_block(sizes: list[int], p_in: float, p_out: float, rng: np.random.Generator) -> Graph:
+    """Stochastic block model with uniform intra/inter block densities."""
+    probs = [[p_in if i == j else p_out for j in range(len(sizes))] for i in range(len(sizes))]
+    g = nx.stochastic_block_model(sizes, probs, seed=int(rng.integers(2**31)))
+    return _graph_from_nx(nx.Graph(g))
+
+
+def graph_from_edge_set(num_nodes: int, pairs: set[tuple[int, int]]) -> Graph:
+    """Graph from a set of undirected node pairs with all-ones features."""
+    normalised = {(min(u, v), max(u, v)) for u, v in pairs if u != v}
+    return Graph(x=np.ones((num_nodes, 1)), edge_index=undirected_edge_index(sorted(normalised)))
+
+
+def random_tree_edges(num_nodes: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Uniform random labelled tree edges (random attachment process)."""
+    edges = []
+    for v in range(1, num_nodes):
+        u = int(rng.integers(0, v))
+        edges.append((u, v))
+    return edges

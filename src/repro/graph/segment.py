@@ -1,0 +1,10 @@
+"""Differentiable segment reductions (scatter ops) for message passing.
+
+Thin re-export of the autograd implementations so graph code can import
+them from the graph substrate, mirroring how PyG layers import from
+``torch_scatter``.
+"""
+
+from repro.autograd.functional import segment_sum, segment_mean, segment_max, segment_softmax
+
+__all__ = ["segment_sum", "segment_mean", "segment_max", "segment_softmax"]

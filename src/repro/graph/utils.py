@@ -1,0 +1,111 @@
+"""Graph utilities: degrees, self loops, GCN normalisation, triangles.
+
+These are the small deterministic helpers the encoders and the synthetic
+dataset generators share.  ``count_triangles`` is the label function of the
+TRIANGLES dataset and is validated against networkx in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.graph.data import Graph
+
+__all__ = [
+    "degrees",
+    "add_self_loops",
+    "gcn_norm_coefficients",
+    "count_triangles",
+    "to_networkx",
+    "from_networkx",
+    "is_undirected",
+    "coalesce_edges",
+    "undirected_edge_index",
+]
+
+
+def degrees(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """In-degree of every node (== out-degree for undirected graphs)."""
+    if edge_index.size == 0:
+        return np.zeros(num_nodes, dtype=np.int64)
+    return np.bincount(edge_index[1], minlength=num_nodes)
+
+
+def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Append one self loop per node to ``edge_index``."""
+    loops = np.arange(num_nodes, dtype=np.int64)
+    loops = np.stack([loops, loops])
+    if edge_index.size == 0:
+        return loops
+    return np.concatenate([edge_index, loops], axis=1)
+
+
+def gcn_norm_coefficients(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Symmetric GCN normalisation ``1 / sqrt(d_u * d_v)`` per edge.
+
+    ``edge_index`` is expected to already include self loops (the Kipf &
+    Welling renormalisation trick).
+    """
+    deg = degrees(edge_index, num_nodes).astype(np.float64)
+    deg_inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+    src, dst = edge_index
+    return deg_inv_sqrt[src] * deg_inv_sqrt[dst]
+
+
+def undirected_edge_index(pairs: list[tuple[int, int]]) -> np.ndarray:
+    """Build a symmetric ``(2, 2m)`` edge index from undirected pairs."""
+    if not pairs:
+        return np.zeros((2, 0), dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64).T
+    return np.concatenate([arr, arr[::-1]], axis=1)
+
+
+def coalesce_edges(edge_index: np.ndarray) -> np.ndarray:
+    """Remove duplicate directed edges and self loops; sort lexically."""
+    if edge_index.size == 0:
+        return edge_index.reshape(2, 0)
+    mask = edge_index[0] != edge_index[1]
+    edge_index = edge_index[:, mask]
+    if edge_index.size == 0:
+        return edge_index.reshape(2, 0)
+    unique = np.unique(edge_index.T, axis=0)
+    return unique.T.astype(np.int64)
+
+
+def is_undirected(edge_index: np.ndarray) -> bool:
+    """Check that every directed edge has its reverse present."""
+    if edge_index.size == 0:
+        return True
+    forward = set(map(tuple, edge_index.T.tolist()))
+    return all((v, u) in forward for u, v in forward)
+
+
+def count_triangles(edge_index: np.ndarray, num_nodes: int) -> int:
+    """Exact triangle count via trace(A^3) / 6 on a dense boolean matrix."""
+    adj = np.zeros((num_nodes, num_nodes), dtype=np.float64)
+    if edge_index.size:
+        adj[edge_index[0], edge_index[1]] = 1.0
+        adj[edge_index[1], edge_index[0]] = 1.0
+    np.fill_diagonal(adj, 0.0)
+    cubed = adj @ adj @ adj
+    return int(round(np.trace(cubed) / 6.0))
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert to an undirected networkx graph (features dropped)."""
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_nodes))
+    g.add_edges_from(map(tuple, graph.edge_index.T.tolist()))
+    return g
+
+
+def from_networkx(g: nx.Graph, x: np.ndarray | None = None, y=None, meta: dict | None = None) -> Graph:
+    """Convert a networkx graph; default features are all-ones."""
+    nodes = sorted(g.nodes())
+    relabel = {node: i for i, node in enumerate(nodes)}
+    pairs = [(relabel[u], relabel[v]) for u, v in g.edges()]
+    edge_index = undirected_edge_index(pairs)
+    if x is None:
+        x = np.ones((len(nodes), 1), dtype=np.float64)
+    return Graph(x=x, edge_index=edge_index, y=y, meta=meta or {})

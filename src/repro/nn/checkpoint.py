@@ -1,0 +1,57 @@
+"""Checkpoint I/O: save and load model state dicts as ``.npz`` archives.
+
+Dotted parameter names are flattened into npz keys; metadata (e.g. the
+training config) rides along as a JSON string under a reserved key.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(model: Module, path, metadata: dict | None = None) -> None:
+    """Write ``model.state_dict()`` (plus optional metadata) to ``path``.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.module.Module`.
+    path:
+        Target file; ``.npz`` is appended if missing.
+    metadata:
+        JSON-serialisable dict stored alongside the weights.
+    """
+    path = Path(path)
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode(), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(model: Module, path) -> dict:
+    """Load weights saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the stored metadata dict.  Raises if parameter names or
+    shapes do not match the model (delegated to ``load_state_dict``).
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive[_META_KEY]).decode()) if _META_KEY in archive else {}
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    model.load_state_dict(state)
+    return metadata

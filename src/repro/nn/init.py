@@ -1,0 +1,65 @@
+"""Weight initialisation schemes (Glorot/Xavier, Kaiming/He, constants).
+
+Every layer takes an ``rng`` (``np.random.Generator``) so that runs are
+fully reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros", "ones", "normal", "uniform"]
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He uniform for ReLU networks: U(-a, a) with a = sqrt(6 / fan_in)."""
+    fan_in, _fan_out = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Gaussian N(0, std^2) initialisation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    """Uniform initialisation on [low, high]."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialisation."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-ones initialisation."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0] if len(shape) == 2 else int(np.prod(shape[:-1]))
+    # Weight convention here is (in_features, out_features).
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    return fan_in, fan_out

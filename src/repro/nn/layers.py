@@ -1,0 +1,211 @@
+"""Standard layers: Linear, MLP, BatchNorm1d, LayerNorm, Dropout, Embedding.
+
+Weight matrices use the ``(in_features, out_features)`` convention so the
+forward pass is ``x @ W + b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter, Sequential
+
+__all__ = [
+    "Linear",
+    "MLP",
+    "BatchNorm1d",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "Identity",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+]
+
+_ACTIVATIONS = {}
+
+
+class Identity(Module):
+    """No-op layer, useful as a placeholder."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class ReLU(Module):
+    """Elementwise ReLU activation layer."""
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Elementwise tanh activation layer."""
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Elementwise sigmoid activation layer."""
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation layer."""
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+_ACTIVATIONS.update({"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid, "leaky_relu": LeakyReLU, "identity": Identity})
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation layer by name (``relu``, ``tanh``, ...)."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}") from None
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with Glorot-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = as_tensor(x) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(as_tensor(x), self.p, self.training, self.rng)
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the leading axis with running statistics."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if self.training and x.shape[0] > 1:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean.data
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var.data
+        else:
+            mean = Tensor(self.running_mean)
+            var = Tensor(self.running_var)
+        normalised = (x - mean) / (var + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature axis."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalised = (x - mean) / (var + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=0.1), name="weight")
+
+    def forward(self, ids) -> Tensor:
+        ids = np.asarray(ids.data if isinstance(ids, Tensor) else ids, dtype=np.int64)
+        return self.weight[ids]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with optional batch norm and dropout.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths including input and output, e.g. ``[64, 64, 10]``.
+    activation:
+        Name of the hidden activation (the output layer is linear).
+    batch_norm:
+        Insert :class:`BatchNorm1d` after every hidden linear layer (the
+        GIN convention).
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        batch_norm: bool = False,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        layers: list[Module] = []
+        for i in range(len(dims) - 1):
+            layers.append(Linear(dims[i], dims[i + 1], rng))
+            is_hidden = i < len(dims) - 2
+            if is_hidden:
+                if batch_norm:
+                    layers.append(BatchNorm1d(dims[i + 1]))
+                layers.append(make_activation(activation))
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng))
+        self.net = Sequential(*layers)
+        self.dims = list(dims)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,20 @@
+"""Training and evaluation harness shared by baselines and OOD-GNN."""
+
+from repro.training.metrics import accuracy, roc_auc, rmse, evaluate_metric, METRICS
+from repro.training.loop import iterate_minibatches, predict, evaluate_model
+from repro.training.trainer import Trainer, TrainerConfig
+from repro.training.seed import seeded_rng
+
+__all__ = [
+    "accuracy",
+    "roc_auc",
+    "rmse",
+    "evaluate_metric",
+    "METRICS",
+    "iterate_minibatches",
+    "predict",
+    "evaluate_model",
+    "Trainer",
+    "TrainerConfig",
+    "seeded_rng",
+]

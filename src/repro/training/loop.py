@@ -1,0 +1,64 @@
+"""Mini-batch iteration and model evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.graph.data import Graph, GraphBatch
+from repro.training.metrics import evaluate_metric
+
+__all__ = ["iterate_minibatches", "predict", "evaluate_model"]
+
+
+def iterate_minibatches(
+    graphs: list[Graph],
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+):
+    """Yield :class:`GraphBatch` mini-batches, optionally shuffled.
+
+    With ``drop_last=True`` a trailing batch smaller than ``batch_size``
+    is skipped — the OOD-GNN trainer requires constant batch sizes for its
+    global memory groups — unless the whole dataset is smaller than one
+    batch, in which case it is yielded as a single batch.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(len(graphs))
+    if rng is not None:
+        rng.shuffle(order)
+    if len(graphs) <= batch_size:
+        yield GraphBatch.from_graphs([graphs[i] for i in order])
+        return
+    for start in range(0, len(graphs), batch_size):
+        chunk = order[start : start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            break
+        yield GraphBatch.from_graphs([graphs[i] for i in chunk])
+
+
+def predict(model, graphs: list[Graph], batch_size: int = 256) -> np.ndarray:
+    """Model outputs (logits / regression values) for a list of graphs."""
+    model.eval()
+    outputs = []
+    with no_grad():
+        for batch in iterate_minibatches(graphs, batch_size):
+            outputs.append(model(batch).data)
+    model.train()
+    return np.concatenate(outputs, axis=0)
+
+
+def stack_targets(graphs: list[Graph]) -> np.ndarray:
+    """Labels stacked the same way :class:`GraphBatch` does."""
+    return GraphBatch._stack_labels([g.y for g in graphs])
+
+
+def evaluate_model(model, graphs: list[Graph], metric: str, batch_size: int = 256) -> float:
+    """Metric value of ``model`` on ``graphs`` (no gradient, eval mode)."""
+    outputs = predict(model, graphs, batch_size=batch_size)
+    targets = stack_targets(graphs)
+    if metric == "accuracy" and outputs.ndim == 2 and outputs.shape[1] == 1:
+        outputs = outputs[:, 0]
+    return evaluate_metric(metric, outputs, targets)

@@ -1,0 +1,93 @@
+"""Evaluation metrics: accuracy, ROC-AUC (from scratch), RMSE.
+
+ROC-AUC follows the Mann-Whitney U formulation with midrank tie handling
+and, for multi-task targets, averages over tasks that contain both classes
+after masking NaN labels — exactly the OGB evaluator convention the paper
+reports against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "roc_auc", "rmse", "evaluate_metric", "METRICS"]
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of argmax predictions matching integer targets."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets).reshape(-1)
+    predictions = logits.argmax(axis=-1) if logits.ndim > 1 else (logits > 0).astype(np.int64)
+    return float((predictions == targets).mean())
+
+
+def _binary_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """AUC via midranks: P(score_pos > score_neg) + 0.5 P(equal)."""
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = scores[order]
+    # Midranks for ties.
+    i = 0
+    n = len(scores)
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    positives = labels == 1
+    n_pos = int(positives.sum())
+    n_neg = n - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC undefined: need both classes present")
+    rank_sum = ranks[positives].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def roc_auc(scores: np.ndarray, targets: np.ndarray) -> float:
+    """ROC-AUC, averaged over valid tasks for multi-task targets.
+
+    Parameters
+    ----------
+    scores:
+        ``(n,)`` or ``(n, tasks)`` real-valued scores (logits fine — AUC
+        is rank-based).
+    targets:
+        Same shape; binary {0, 1} with NaN marking missing labels.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if scores.ndim == 1:
+        scores = scores[:, None]
+    targets = targets.reshape(scores.shape)
+    aucs = []
+    for t in range(scores.shape[1]):
+        mask = ~np.isnan(targets[:, t])
+        labels = targets[mask, t]
+        if mask.sum() == 0 or len(np.unique(labels)) < 2:
+            continue
+        aucs.append(_binary_auc(scores[mask, t], labels.astype(np.int64)))
+    if not aucs:
+        raise ValueError("no task had both classes present")
+    return float(np.mean(aucs))
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean squared error over all (non-NaN) entries."""
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    mask = ~np.isnan(targets)
+    diff = predictions[mask] - targets[mask]
+    return float(np.sqrt((diff**2).mean()))
+
+
+METRICS = {"accuracy": accuracy, "rocauc": roc_auc, "rmse": rmse}
+
+
+def evaluate_metric(name: str, outputs: np.ndarray, targets: np.ndarray) -> float:
+    """Dispatch a metric by Table 1 name (``accuracy``/``rocauc``/``rmse``)."""
+    try:
+        metric = METRICS[name]
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}; choose from {sorted(METRICS)}") from None
+    return metric(outputs, targets)

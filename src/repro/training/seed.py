@@ -1,0 +1,21 @@
+"""Deterministic seeding helpers.
+
+Every stochastic component in the library takes an explicit
+``np.random.Generator``; :func:`seeded_rng` derives independent generators
+from a root seed and a string tag so that e.g. model initialisation and
+data generation never share a stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["seeded_rng"]
+
+
+def seeded_rng(seed: int, tag: str = "") -> np.random.Generator:
+    """Generator derived from ``(seed, tag)``; same inputs, same stream."""
+    mixed = np.random.SeedSequence([seed, zlib.crc32(tag.encode())])
+    return np.random.default_rng(mixed)

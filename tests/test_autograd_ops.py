@@ -1,0 +1,242 @@
+"""Gradient checks for every primitive tensor operation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients
+from repro.autograd.tensor import concatenate, stack, where, maximum
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def leaf(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 3, 4)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast_rows(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 4)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast_scalar(self, rng):
+        a = leaf(rng, 3, 4)
+        check_gradients(lambda: (a + 2.5).sum(), [a])
+
+    def test_sub(self, rng):
+        a, b = leaf(rng, 2, 3), leaf(rng, 2, 3)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+
+    def test_rsub(self, rng):
+        a = leaf(rng, 2, 3)
+        check_gradients(lambda: (1.0 - a).sum(), [a])
+
+    def test_mul(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 3, 4)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_column(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 3, 1)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = leaf(rng, 3, 4)
+        b = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_rdiv(self, rng):
+        b = Tensor(rng.uniform(0.5, 2.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda: (1.0 / b).sum(), [b])
+
+    def test_neg(self, rng):
+        a = leaf(rng, 5)
+        check_gradients(lambda: (-a).sum(), [a])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a**3).sum(), [a])
+
+    def test_pow_non_integer(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda: (a**0.5).sum(), [a])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        a = leaf(rng, 2)
+        with pytest.raises(TypeError):
+            a ** Tensor([2.0])
+
+
+class TestMatmul:
+    def test_matrix_matrix(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 4, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matrix_vector(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 4)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_matrix(self, rng):
+        a, b = leaf(rng, 4), leaf(rng, 4, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_chained(self, rng):
+        a, b, c = leaf(rng, 2, 3), leaf(rng, 3, 3), leaf(rng, 3, 2)
+        check_gradients(lambda: (a @ b @ c).sum(), [a, b, c])
+
+
+class TestUnary:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "tanh", "sigmoid", "sin", "cos", "softplus"],
+    )
+    def test_smooth_ops(self, rng, op):
+        a = leaf(rng, 3, 4)
+        check_gradients(lambda: getattr(a, op)().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+    def test_relu(self, rng):
+        # Keep values away from the kink for finite differences.
+        a = Tensor(rng.choice([-1.0, 1.0], size=(4, 4)) * rng.uniform(0.5, 1.5, (4, 4)), requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_leaky_relu(self, rng):
+        a = Tensor(rng.choice([-1.0, 1.0], size=(4, 4)) * rng.uniform(0.5, 1.5, (4, 4)), requires_grad=True)
+        check_gradients(lambda: a.leaky_relu(0.1).sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(rng.choice([-1.0, 1.0], size=(4,)) * rng.uniform(0.5, 1.5, 4), requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_clip(self, rng):
+        a = Tensor(np.array([-2.0, -0.5, 0.3, 1.7]), requires_grad=True)
+        coeffs = Tensor(np.array([1.0, -2.0, 3.0, 0.5]))
+        check_gradients(lambda: (a.clip(-1.0, 1.0) * coeffs).sum(), [a])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = leaf(rng, 3, 4)
+        check_gradients(lambda: (a * a).sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = leaf(rng, 3, 4)
+        check_gradients(lambda: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = leaf(rng, 3, 4)
+        check_gradients(lambda: (a - a.sum(axis=1, keepdims=True)).sum(), [a])
+
+    def test_mean(self, rng):
+        a = leaf(rng, 3, 4)
+        check_gradients(lambda: (a.mean(axis=0) ** 2).sum(), [a])
+
+    def test_mean_all(self, rng):
+        a = leaf(rng, 5)
+        check_gradients(lambda: (a * a).mean(), [a])
+
+    def test_var(self, rng):
+        a = leaf(rng, 6)
+        check_gradients(lambda: a.var(), [a])
+
+    def test_std(self, rng):
+        a = leaf(rng, 6)
+        check_gradients(lambda: a.std(axis=0), [a])
+
+    def test_max_axis(self, rng):
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(float), requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_all(self, rng):
+        a = Tensor(rng.permutation(12).astype(float), requires_grad=True)
+        check_gradients(lambda: a.max(), [a])
+
+    def test_min(self, rng):
+        a = Tensor(rng.permutation(8).astype(float), requires_grad=True)
+        check_gradients(lambda: a.min(), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShape:
+    def test_reshape(self, rng):
+        a = leaf(rng, 3, 4)
+        check_gradients(lambda: (a.reshape(2, 6) ** 2).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = leaf(rng, 3, 4)
+        b = leaf(rng, 3, 4)
+        check_gradients(lambda: (a.T @ b).sum(), [a, b])
+
+    def test_transpose_axes(self, rng):
+        a = leaf(rng, 2, 3, 4)
+        check_gradients(lambda: (a.transpose((2, 0, 1)) ** 2).sum(), [a])
+
+    def test_squeeze_unsqueeze(self, rng):
+        a = leaf(rng, 3)
+        check_gradients(lambda: (a.unsqueeze(1) ** 2).sum(), [a])
+        b = leaf(rng, 3, 1)
+        check_gradients(lambda: (b.squeeze(1) ** 2).sum(), [b])
+
+    def test_broadcast_to(self, rng):
+        a = leaf(rng, 1, 4)
+        check_gradients(lambda: (a.broadcast_to((3, 4)) ** 2).sum(), [a])
+
+    def test_getitem_int_rows(self, rng):
+        a = leaf(rng, 5, 3)
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_getitem_slice(self, rng):
+        a = leaf(rng, 5, 3)
+        check_gradients(lambda: (a[1:4] ** 2).sum(), [a])
+
+    def test_getitem_tuple(self, rng):
+        a = leaf(rng, 4, 4)
+        rows, cols = np.array([0, 1, 2]), np.array([1, 2, 3])
+        check_gradients(lambda: (a[(rows, cols)] ** 2).sum(), [a])
+
+    def test_index_add(self, rng):
+        base, src = leaf(rng, 4, 2), leaf(rng, 3, 2)
+        idx = np.array([0, 2, 2])
+        check_gradients(lambda: (base.index_add(idx, src) ** 2).sum(), [base, src])
+
+
+class TestCombinators:
+    def test_concatenate(self, rng):
+        a, b = leaf(rng, 2, 3), leaf(rng, 4, 3)
+        check_gradients(lambda: (concatenate([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_concatenate_axis1(self, rng):
+        a, b = leaf(rng, 2, 3), leaf(rng, 2, 2)
+        check_gradients(lambda: (concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = leaf(rng, 3), leaf(rng, 3)
+        check_gradients(lambda: (stack([a, b]) ** 2).sum(), [a, b])
+
+    def test_where(self, rng):
+        cond = np.array([True, False, True, False])
+        a, b = leaf(rng, 4), leaf(rng, 4)
+        check_gradients(lambda: (where(cond, a, b) ** 2).sum(), [a, b])
+
+    def test_maximum(self, rng):
+        a = Tensor(np.array([1.0, 5.0, -2.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 1.0, -3.0]), requires_grad=True)
+        check_gradients(lambda: maximum(a, b).sum(), [a, b])

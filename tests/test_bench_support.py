@@ -1,0 +1,59 @@
+"""Bench support: table/series formatting and the experiment protocol."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentProtocol, MethodResult, format_table, format_series
+
+
+class TestFormatTable:
+    def test_contains_title_methods_and_cells(self):
+        out = format_table("My Table", ["A", "B"], {"gin": ["1.0", "2.0"], "ood-gnn": ["3.0", "4.0"]})
+        assert "My Table" in out
+        assert "gin" in out and "ood-gnn" in out
+        assert "3.0" in out and "2.0" in out
+
+    def test_columns_aligned(self):
+        out = format_table("T", ["Col"], {"a": ["x"], "longer-name": ["y"]})
+        lines = [l for l in out.splitlines() if l and not set(l) <= {"-"}]
+        # All data rows have the same width.
+        widths = {len(l) for l in lines[2:]}
+        assert len(widths) == 1
+
+    def test_empty_rows(self):
+        out = format_table("T", ["C"], {})
+        assert "T" in out
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        out = format_series("Sweep", ["2x", "5x"], [0.5, 0.75], "acc")
+        assert "2x" in out and "acc 0.7500" in out
+
+    def test_length_match_implicit(self):
+        out = format_series("S", [1, 2, 3], [0.1, 0.2, 0.3])
+        assert out.count("->") == 3
+
+
+class TestMethodResult:
+    def test_row_format(self):
+        result = MethodResult(
+            method="gin",
+            train_mean=0.9,
+            train_std=0.01,
+            test_mean={"Test(large)": 0.5},
+            test_std={"Test(large)": 0.05},
+        )
+        assert result.row("Test(large)") == "0.500±0.050"
+
+
+class TestProtocol:
+    def test_defaults(self):
+        proto = ExperimentProtocol()
+        assert proto.epochs > 0
+        assert proto.ood_overrides == {}
+
+    def test_overrides_independent_instances(self):
+        a, b = ExperimentProtocol(), ExperimentProtocol()
+        a.ood_overrides["momentum"] = 0.5
+        assert "momentum" not in b.ood_overrides

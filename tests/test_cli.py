@@ -1,0 +1,43 @@
+"""Command-line experiment runner (python -m repro.run)."""
+
+import pytest
+
+from repro.run import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["--dataset", "proteins25"])
+        assert args.method == "ood-gnn"
+        assert args.seeds == 2
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imagenet"])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "proteins25", "--method", "transformer"])
+
+
+class TestMain:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "proteins25" in out
+        assert "ood-gnn" in out
+
+    def test_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_tiny_run(self, capsys):
+        code = main([
+            "--dataset", "proteins25", "--method", "gcn",
+            "--seeds", "1", "--epochs", "2", "--scale", "0.15",
+            "--hidden-dim", "8", "--num-layers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "train" in out
+        assert "Test(large)" in out

@@ -1,0 +1,98 @@
+"""MNIST-75SP-like dataset: rendering, superpixels, feature shifts."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_mnist75sp
+from repro.datasets.mnist75sp import render_digit, image_to_superpixel_graph, DIGIT_STROKES
+from repro.graph.utils import is_undirected
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(73)
+
+
+class TestRendering:
+    def test_canvas_shape_and_range(self, rng):
+        img = render_digit(3, rng)
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_all_digits_defined(self):
+        assert set(DIGIT_STROKES) == set(range(10))
+
+    def test_invalid_digit(self, rng):
+        with pytest.raises(ValueError):
+            render_digit(11, rng)
+
+    def test_renders_nonempty_foreground(self, rng):
+        for digit in range(10):
+            img = render_digit(digit, rng)
+            assert (img > 0.1).sum() > 20, f"digit {digit} nearly blank"
+
+    def test_jitter_varies_instances(self, rng):
+        a = render_digit(7, rng)
+        b = render_digit(7, rng)
+        assert not np.allclose(a, b)
+
+
+class TestSuperpixelGraph:
+    def test_node_budget(self, rng):
+        img = render_digit(0, rng)
+        g = image_to_superpixel_graph(img, rng, max_superpixels=75)
+        assert g.num_nodes <= 75
+
+    def test_features_are_rgb_plus_coords(self, rng):
+        img = render_digit(5, rng)
+        g = image_to_superpixel_graph(img, rng)
+        assert g.num_features == 5
+        # Grayscale: three identical colour channels.
+        np.testing.assert_allclose(g.x[:, 0], g.x[:, 1])
+        np.testing.assert_allclose(g.x[:, 1], g.x[:, 2])
+        # Coordinates normalised to [0, 1].
+        assert g.x[:, 3:].min() >= 0.0 and g.x[:, 3:].max() <= 1.0
+
+    def test_graph_connected_enough(self, rng):
+        img = render_digit(8, rng)
+        g = image_to_superpixel_graph(img, rng, knn=6)
+        assert is_undirected(g.edge_index)
+        assert g.num_edges >= g.num_nodes  # kNN with k=6 is denser than a tree
+
+    def test_blank_image_raises(self, rng):
+        with pytest.raises(ValueError):
+            image_to_superpixel_graph(np.zeros((28, 28)), rng)
+
+
+class TestDataset:
+    def test_two_test_variants_share_structure(self, rng):
+        ds = make_mnist75sp(rng, num_train=6, num_valid=2, num_test=4)
+        noise, color = ds.tests["Test(noise)"], ds.tests["Test(color)"]
+        assert len(noise) == len(color) == 4
+        for gn, gc in zip(noise, color):
+            np.testing.assert_array_equal(gn.edge_index, gc.edge_index)
+            assert gn.y == gc.y
+
+    def test_noise_is_grayscale_color_is_not(self, rng):
+        ds = make_mnist75sp(rng, num_train=4, num_valid=2, num_test=3)
+        gn = ds.tests["Test(noise)"][0]
+        gc = ds.tests["Test(color)"][0]
+        # Grayscale noise keeps channels tied; colour noise decouples them.
+        np.testing.assert_allclose(gn.x[:, 0], gn.x[:, 1])
+        assert not np.allclose(gc.x[:, 0], gc.x[:, 1])
+
+    def test_coordinates_unchanged_by_noise(self, rng):
+        ds = make_mnist75sp(rng, num_train=4, num_valid=2, num_test=3)
+        gn = ds.tests["Test(noise)"][0]
+        assert gn.x[:, 3:].min() >= 0.0 and gn.x[:, 3:].max() <= 1.0
+
+    def test_labels_cover_digits(self, rng):
+        ds = make_mnist75sp(rng, num_train=60, num_valid=5, num_test=5)
+        labels = {g.y for g in ds.train}
+        assert len(labels) >= 7  # most digits present in a sample of 60
+
+    def test_info(self, rng):
+        ds = make_mnist75sp(rng, num_train=4, num_valid=2, num_test=2)
+        assert ds.info.split_method == "feature"
+        assert ds.info.num_classes == 10
+        assert ds.info.feature_dim == 5

@@ -1,0 +1,133 @@
+"""Molecule generator: scaffolds, functional groups, labels, splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import MoleculeGenerator, FUNCTIONAL_GROUPS
+from repro.datasets.molecules import MoleculeConfig, FEATURE_DIM, ATOM_TYPES
+from repro.datasets.splits import scaffold_split
+from repro.graph.utils import is_undirected
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(83)
+
+
+@pytest.fixture
+def generator():
+    return MoleculeGenerator(num_tasks=2, task_type="binary", seed=7)
+
+
+class TestScaffolds:
+    def test_deterministic_per_id(self, generator):
+        a = generator.build_scaffold(3)
+        b = generator.build_scaffold(3)
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+
+    def test_distinct_ids_distinct_structures(self, generator):
+        structures = {tuple(generator.build_scaffold(i)[1]) for i in range(10)}
+        assert len(structures) > 5
+
+    def test_ring_atoms_flagged(self, generator):
+        atoms, bonds, flags = generator.build_scaffold(0)
+        assert len(flags) == len(atoms)
+        np.testing.assert_allclose(flags, 1.0)
+
+    def test_preferences_are_distribution(self, generator):
+        p = generator.group_preferences(4)
+        assert p.shape == (len(FUNCTIONAL_GROUPS),)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_preferences_vary_across_scaffolds(self, generator):
+        a = generator.group_preferences(0)
+        b = generator.group_preferences(1)
+        assert not np.allclose(a, b)
+
+
+class TestMolecules:
+    def test_sampled_molecule_valid(self, generator, rng):
+        g = generator.sample_molecule(rng)
+        assert is_undirected(g.edge_index)
+        assert g.x.shape[1] == FEATURE_DIM
+        assert "scaffold" in g.meta
+        # One-hot atom type block sums to one.
+        np.testing.assert_allclose(g.x[:, : len(ATOM_TYPES)].sum(axis=1), 1.0)
+
+    def test_binary_labels_causal_up_to_noise(self, rng):
+        """With label noise off, labels are a pure function of groups."""
+        gen = MoleculeGenerator(1, "binary", seed=3, config=MoleculeConfig(label_noise=0.0))
+        for _ in range(20):
+            g = gen.sample_molecule(rng)
+            counts = g.meta["group_counts"]
+            expected = float(counts[gen._task_groups[0]].sum() > 0)
+            assert float(np.asarray(g.y).reshape(-1)[0]) == expected
+
+    def test_label_noise_flips_some(self, rng):
+        noisy = MoleculeGenerator(1, "binary", seed=3, config=MoleculeConfig(label_noise=0.5))
+        clean = MoleculeGenerator(1, "binary", seed=3, config=MoleculeConfig(label_noise=0.0))
+        r1, r2 = np.random.default_rng(0), np.random.default_rng(0)
+        flips = 0
+        for _ in range(40):
+            a = noisy.sample_molecule(r1)
+            b = clean.sample_molecule(r2)
+            flips += float(np.asarray(a.y).reshape(-1)[0]) != float(np.asarray(b.y).reshape(-1)[0])
+        assert flips > 5
+
+    def test_missing_task_labels(self, rng):
+        gen = MoleculeGenerator(
+            8, "binary", seed=3, config=MoleculeConfig(task_missing_rate=0.5)
+        )
+        labels = np.stack([np.asarray(gen.sample_molecule(rng).y) for _ in range(30)])
+        nan_rate = np.isnan(labels).mean()
+        assert 0.3 < nan_rate < 0.7
+
+    def test_regression_targets_track_groups(self, rng):
+        gen = MoleculeGenerator(1, "regression", seed=3)
+        graphs = [gen.sample_molecule(rng) for _ in range(60)]
+        ys = np.array([float(np.asarray(g.y).reshape(-1)[0]) for g in graphs])
+        predicted = np.array(
+            [(gen._betas @ g.meta["group_counts"]).item() for g in graphs]
+        )
+        assert np.corrcoef(ys, predicted)[0, 1] > 0.7
+
+    def test_scaffold_label_correlation_is_spurious(self, rng):
+        """High spurious strength makes scaffold identity predictive of
+        the label within the sampled population."""
+        gen = MoleculeGenerator(
+            1, "binary", seed=5,
+            config=MoleculeConfig(spurious_strength=4.0, label_noise=0.0, num_scaffolds=10),
+        )
+        from collections import defaultdict
+
+        by_scaffold = defaultdict(list)
+        for _ in range(300):
+            g = gen.sample_molecule(rng)
+            by_scaffold[g.meta["scaffold"]].append(float(np.asarray(g.y).reshape(-1)[0]))
+        purities = [max(np.mean(v), 1 - np.mean(v)) for v in by_scaffold.values() if len(v) >= 10]
+        assert np.mean(purities) > 0.7
+
+    def test_invalid_task_type(self):
+        with pytest.raises(ValueError):
+            MoleculeGenerator(1, "ranking", seed=0)
+
+
+class TestScaffoldSplitIntegration:
+    def test_split_scaffolds_disjoint(self, generator, rng):
+        graphs = generator.generate(200, rng)
+        train, valid, test = scaffold_split(graphs)
+        s = lambda gs: {g.meta["scaffold"] for g in gs}
+        assert not (s(train) & s(test))
+        assert not (s(train) & s(valid))
+        assert len(train) > len(valid)
+        assert len(train) > len(test)
+
+    def test_zipf_concentrates_train(self, generator, rng):
+        graphs = generator.generate(300, rng)
+        train, _valid, test = scaffold_split(graphs)
+        # Train holds few big scaffolds; test many rare ones.
+        train_scaffolds = {g.meta["scaffold"] for g in train}
+        test_scaffolds = {g.meta["scaffold"] for g in test}
+        assert len(train_scaffolds) < len(test_scaffolds)

@@ -1,0 +1,113 @@
+"""COLLAB / PROTEINS / D&D-like generators and their causal structure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets import make_collab, make_proteins, make_dd
+from repro.datasets.social import sample_collab_graph, sample_protein_graph
+from repro.graph.utils import to_networkx, is_undirected
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(79)
+
+
+def max_clique_size(graph) -> int:
+    return max(len(c) for c in nx.find_cliques(to_networkx(graph)))
+
+
+class TestCollabGenerator:
+    def test_ego_connected_to_everyone(self, rng):
+        g = sample_collab_graph(1, 20, rng)
+        nxg = to_networkx(g)
+        assert nxg.degree(0) == 19
+
+    def test_fields_have_distinct_density(self, rng):
+        def avg_density(field):
+            vals = []
+            for _ in range(8):
+                g = sample_collab_graph(field, 30, rng)
+                vals.append(g.num_edges / (g.num_nodes * (g.num_nodes - 1)))
+            return np.mean(vals)
+
+        hep, astro = avg_density(0), avg_density(2)
+        assert hep > astro  # big collaborations are denser
+
+    def test_invalid_field(self, rng):
+        with pytest.raises(ValueError):
+            sample_collab_graph(5, 10, rng)
+
+    def test_undirected_and_featured(self, rng):
+        g = sample_collab_graph(0, 25, rng)
+        assert is_undirected(g.edge_index)
+        np.testing.assert_allclose(g.x.sum(axis=1), 1.0)  # one-hot bins
+
+
+class TestProteinGenerator:
+    def test_enzyme_contains_4clique(self, rng):
+        for _ in range(5):
+            g = sample_protein_graph(True, int(rng.integers(10, 40)), rng)
+            assert max_clique_size(g) >= 4
+
+    def test_non_enzyme_never_has_4clique(self, rng):
+        """The motif is perfectly discriminative: decorations (helix
+        chords, sheet rungs) can build triangles but never a 4-clique."""
+        for _ in range(25):
+            g = sample_protein_graph(False, int(rng.integers(10, 80)), rng)
+            assert max_clique_size(g) <= 3
+
+    def test_backbone_connected(self, rng):
+        g = sample_protein_graph(False, 30, rng)
+        assert nx.is_connected(to_networkx(g))
+
+    def test_minimum_size(self, rng):
+        with pytest.raises(ValueError):
+            sample_protein_graph(True, 4, rng)
+
+    def test_labels_and_meta(self, rng):
+        g = sample_protein_graph(True, 15, rng)
+        assert g.y == 1
+        assert g.meta["is_enzyme"]
+
+
+class TestDatasets:
+    def test_collab_split_ranges(self, rng):
+        ds = make_collab(rng, num_train=20, num_valid=5, num_test=8)
+        assert max(g.num_nodes for g in ds.train) <= 35
+        assert min(g.num_nodes for g in ds.tests["Test(large)"]) >= 36
+
+    def test_proteins_split_ranges(self, rng):
+        ds = make_proteins(rng, num_train=20, num_valid=5, num_test=8)
+        assert max(g.num_nodes for g in ds.train) <= 25
+        assert min(g.num_nodes for g in ds.tests["Test(large)"]) >= 26
+
+    def test_dd_variants(self, rng):
+        ds200 = make_dd(rng, variant=200, num_train=10, num_valid=4, num_test=4)
+        assert max(g.num_nodes for g in ds200.train) <= 200
+        assert min(g.num_nodes for g in ds200.tests["Test(large)"]) >= 201
+        with pytest.raises(ValueError):
+            make_dd(rng, variant=250)
+
+    def test_size_bias_creates_confound(self, rng):
+        """Inside the training range, label correlates with size; the OOD
+        test split has no such bias."""
+        ds = make_proteins(rng, num_train=150, num_valid=10, num_test=60, size_bias=0.9)
+        sizes = np.array([g.num_nodes for g in ds.train])
+        labels = np.array([g.y for g in ds.train])
+        assert np.corrcoef(sizes, labels)[0, 1] > 0.3
+        test_sizes = np.array([g.num_nodes for g in ds.tests["Test(large)"]])
+        test_labels = np.array([g.y for g in ds.tests["Test(large)"]])
+        assert abs(np.corrcoef(test_sizes, test_labels)[0, 1]) < 0.3
+
+    def test_no_bias_when_disabled(self, rng):
+        ds = make_proteins(rng, num_train=150, num_valid=10, num_test=10, size_bias=0.0)
+        sizes = np.array([g.num_nodes for g in ds.train])
+        labels = np.array([g.y for g in ds.train])
+        assert abs(np.corrcoef(sizes, labels)[0, 1]) < 0.25
+
+    def test_motif_predictive_in_both_splits(self, rng):
+        ds = make_proteins(rng, num_train=20, num_valid=5, num_test=20)
+        for g in ds.tests["Test(large)"]:
+            assert (max_clique_size(g) >= 4) == bool(g.y)

@@ -1,0 +1,78 @@
+"""TRIANGLES dataset: label correctness and split structure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets import make_triangles
+from repro.datasets.triangles import sample_triangle_graph, TRIANGLES_MAX_DEGREE
+from repro.graph.utils import to_networkx, is_undirected
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(71)
+
+
+class TestSampler:
+    def test_labels_match_networkx(self, rng):
+        for _ in range(10):
+            g = sample_triangle_graph(int(rng.integers(6, 20)), rng)
+            nx_count = sum(nx.triangles(to_networkx(g)).values()) // 3
+            assert g.meta["num_triangles"] == nx_count
+            assert g.y == nx_count - 1
+
+    def test_counts_in_range(self, rng):
+        for _ in range(10):
+            g = sample_triangle_graph(int(rng.integers(5, 30)), rng)
+            assert 1 <= g.meta["num_triangles"] <= 10
+
+    def test_target_count_respected(self, rng):
+        g = sample_triangle_graph(12, rng, max_attempts=2000, target_count=3)
+        assert g.meta["num_triangles"] == 3
+
+    def test_one_hot_degree_features(self, rng):
+        g = sample_triangle_graph(15, rng)
+        assert g.x.shape == (15, TRIANGLES_MAX_DEGREE + 1)
+        np.testing.assert_allclose(g.x.sum(axis=1), 1.0)
+
+    def test_undirected(self, rng):
+        g = sample_triangle_graph(10, rng)
+        assert is_undirected(g.edge_index)
+
+    def test_impossible_target_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            sample_triangle_graph(4, rng, max_attempts=5, target_count=10)
+
+
+class TestDataset:
+    def test_split_sizes_and_ranges(self, rng):
+        ds = make_triangles(rng, num_train=30, num_valid=10, num_test=10)
+        assert len(ds.train) == 30
+        assert len(ds.valid) == 10
+        assert len(ds.tests["Test(large)"]) == 10
+        assert max(g.num_nodes for g in ds.train) <= 25
+        assert min(g.num_nodes for g in ds.tests["Test(large)"]) >= 26
+
+    def test_info_matches_table1(self, rng):
+        ds = make_triangles(rng, num_train=5, num_valid=2, num_test=2)
+        assert ds.info.task_type == "multiclass"
+        assert ds.info.num_classes == 10
+        assert ds.info.metric == "accuracy"
+        assert ds.info.split_method == "size"
+        assert ds.info.model_out_dim == 10
+
+    def test_feature_dim_consistent_across_splits(self, rng):
+        ds = make_triangles(rng, num_train=5, num_valid=2, num_test=2)
+        dims = {g.num_features for g in ds.all_graphs()}
+        assert dims == {ds.info.feature_dim}
+
+    def test_small_graphs_cap_label_range(self, rng):
+        """A graph with n nodes has at most C(n,3) triangles, so the very
+        small training graphs structurally exclude the high-count classes
+        - the size <-> label coupling the size shift then breaks."""
+        ds = make_triangles(rng, num_train=150, num_valid=10, num_test=10)
+        labels_n4 = [g.y for g in ds.train if g.num_nodes == 4]
+        assert labels_n4
+        # 4 nodes have C(4,3) = 4 triples -> at most 4 triangles (class 3).
+        assert max(labels_n4) <= 3

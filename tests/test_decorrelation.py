@@ -1,0 +1,120 @@
+"""Sample-weight learning: projections, convergence, constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core import SampleWeightLearner, project_weights, RandomFourierFeatures
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(53)
+
+
+def confounded_representations(rng, n=200):
+    """Two dimensions correlated through a latent factor; extra noise dims."""
+    y = rng.integers(0, 2, n)
+    causal = y + 0.3 * rng.normal(size=n)
+    aligned = rng.random(n) < 0.8
+    spurious = np.where(aligned, y, 1 - y) + 0.3 * rng.normal(size=n)
+    noise = rng.normal(size=(n, 2))
+    return np.column_stack([spurious, causal, noise]), aligned
+
+
+class TestProjectWeights:
+    def test_mean_is_one(self, rng):
+        w = project_weights(rng.uniform(0, 5, size=20))
+        assert w.mean() == pytest.approx(1.0)
+
+    def test_nonnegative(self, rng):
+        w = project_weights(rng.normal(size=20))
+        assert (w >= 0).all()
+
+    def test_ceiling_respected_before_rescale(self):
+        w = project_weights(np.array([100.0, 1.0, 1.0]), ceiling=5.0)
+        assert w.max() <= 5.0 * (3 / 7.0) + 1e-9
+
+    def test_all_negative_resets_to_uniform(self):
+        w = project_weights(np.array([-1.0, -2.0]))
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_idempotent(self, rng):
+        w = project_weights(rng.uniform(0, 3, size=15))
+        np.testing.assert_allclose(project_weights(w), w, atol=1e-12)
+
+
+class TestLearner:
+    def test_loss_decreases(self, rng):
+        z, _ = confounded_representations(rng)
+        rff = RandomFourierFeatures(num_functions=5, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=40, lr=0.05, l2_penalty=0.05)
+        result = learner.learn(z)
+        assert result.final_loss < result.initial_loss
+
+    def test_constraints_hold(self, rng):
+        z, _ = confounded_representations(rng)
+        rff = RandomFourierFeatures(num_functions=5, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=20, lr=0.1)
+        result = learner.learn(z)
+        assert result.weights.mean() == pytest.approx(1.0)
+        assert result.weights.min() >= 0
+        assert result.weights.max() <= learner.max_weight + 1e-9
+
+    def test_upweights_counterexamples(self, rng):
+        """Samples breaking the train-time correlation gain weight."""
+        z, aligned = confounded_representations(rng)
+        rff = RandomFourierFeatures(num_functions=5, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=60, lr=0.05, l2_penalty=0.02)
+        result = learner.learn(z)
+        assert result.weights[~aligned].mean() > result.weights[aligned].mean()
+
+    def test_fixed_global_weights_not_returned(self, rng):
+        z, _ = confounded_representations(rng, n=60)
+        rff = RandomFourierFeatures(num_functions=2, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=5, lr=0.05)
+        fixed = np.full(20, 2.0)
+        result = learner.learn(z, fixed_weights=fixed)
+        assert result.weights.shape == (40,)
+
+    def test_all_fixed_raises(self, rng):
+        z, _ = confounded_representations(rng, n=10)
+        rff = RandomFourierFeatures(rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=1)
+        with pytest.raises(ValueError):
+            learner.learn(z, fixed_weights=np.ones(10))
+
+    def test_init_local_used(self, rng):
+        z, _ = confounded_representations(rng, n=50)
+        rff = RandomFourierFeatures(num_functions=2, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=1, lr=1e-9)
+        init = rng.uniform(0.5, 1.5, size=50)
+        result = learner.learn(z, init_local=init)
+        np.testing.assert_allclose(result.weights, project_weights(init), atol=1e-4)
+
+    def test_rejects_zero_epochs(self, rng):
+        rff = RandomFourierFeatures(rng=rng)
+        with pytest.raises(ValueError):
+            SampleWeightLearner(rff, epochs=0)
+
+    def test_linear_mode_runs(self, rng):
+        z, _ = confounded_representations(rng, n=80)
+        rff = RandomFourierFeatures(linear=True, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=10, lr=0.05)
+        result = learner.learn(z)
+        assert np.isfinite(result.final_loss)
+
+    def test_standardisation_handles_large_scales(self, rng):
+        z, _ = confounded_representations(rng, n=100)
+        z_scaled = z * 1000.0
+        rff = RandomFourierFeatures(num_functions=3, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=15, lr=0.05)
+        result = learner.learn(z_scaled)
+        assert result.final_loss < result.initial_loss
+
+    def test_loss_trajectory_recorded(self, rng):
+        z, _ = confounded_representations(rng, n=60)
+        rff = RandomFourierFeatures(num_functions=2, rng=np.random.default_rng(1))
+        learner = SampleWeightLearner(rff, epochs=7)
+        result = learner.learn(z)
+        assert len(result.losses) == 7
+        assert result.final_loss == result.losses[-1]

@@ -1,0 +1,105 @@
+"""Model assemblies and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBatch
+from repro.graph.generators import erdos_renyi
+from repro.encoders import build_model, available_models, compute_pna_degree_scale, GraphClassifier
+from repro.encoders.base import StackedEncoder, VirtualNodeEncoder
+from repro.encoders.conv import GINConv
+from repro.nn import cross_entropy
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+@pytest.fixture
+def batch(rng):
+    graphs = []
+    for i in range(6):
+        g = erdos_renyi(int(rng.integers(4, 9)), 0.5, rng)
+        g.y = i % 2
+        graphs.append(g)
+    return GraphBatch.from_graphs(graphs)
+
+
+class TestRegistry:
+    def test_all_names_buildable_and_runnable(self, batch):
+        for name in available_models():
+            model = build_model(name, 1, 2, np.random.default_rng(0), hidden_dim=8, num_layers=2)
+            logits = model(batch)
+            assert logits.shape == (batch.num_graphs, 2), name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_model("graph-transformer", 1, 2, np.random.default_rng(0))
+
+    def test_all_parameters_receive_gradients(self, batch):
+        for name in available_models():
+            model = build_model(name, 1, 2, np.random.default_rng(0), hidden_dim=8, num_layers=2)
+            loss = cross_entropy(model(batch), batch.y)
+            loss.backward()
+            missing = [n for n, p in model.named_parameters() if p.grad is None]
+            assert not missing, f"{name}: no gradient for {missing}"
+
+    def test_pna_uses_mean_readout_stability(self, batch):
+        model = build_model("pna", 1, 2, np.random.default_rng(0), hidden_dim=8, num_layers=2)
+        out = model(batch)
+        assert np.isfinite(out.data).all()
+
+
+class TestDegreeScale:
+    def test_empty_list(self):
+        assert compute_pna_degree_scale([]) == 1.0
+
+    def test_positive_for_real_graphs(self, rng):
+        graphs = [erdos_renyi(8, 0.5, rng) for _ in range(3)]
+        assert compute_pna_degree_scale(graphs) > 0
+
+
+class TestGraphClassifier:
+    def test_representations_shape(self, rng, batch):
+        encoder = StackedEncoder(1, 8, 2, lambda i, o: GINConv(i, o, rng), rng)
+        model = GraphClassifier(encoder, 3, rng)
+        z = model.representations(batch)
+        assert z.shape == (batch.num_graphs, 8)
+        assert model(batch).shape == (batch.num_graphs, 3)
+
+    def test_param_count_ood_matches_gin_scale(self):
+        # Section 4.8: OOD-GNN has the same parameter count as its GIN
+        # backbone (weights are not model parameters) and far fewer than PNA.
+        gin = build_model("gin", 9, 1, np.random.default_rng(0), hidden_dim=32, num_layers=3)
+        pna = build_model("pna", 9, 1, np.random.default_rng(0), hidden_dim=32, num_layers=3)
+        assert pna.num_parameters() > 2 * gin.num_parameters()
+
+
+class TestEncoders:
+    def test_stacked_requires_layer(self, rng):
+        with pytest.raises(ValueError):
+            StackedEncoder(1, 8, 0, lambda i, o: GINConv(i, o, rng), rng)
+
+    def test_virtual_node_changes_output(self, rng, batch):
+        plain = build_model("gin", 1, 2, np.random.default_rng(0), hidden_dim=8, num_layers=2)
+        virtual = build_model("gin-virtual", 1, 2, np.random.default_rng(0), hidden_dim=8, num_layers=2)
+        assert not np.allclose(plain(batch).data, virtual(batch).data)
+
+    def test_batching_invariance(self, rng):
+        """Encoding graphs in one batch == encoding them separately."""
+        graphs = [erdos_renyi(6, 0.5, rng) for _ in range(3)]
+        for g in graphs:
+            g.y = 0
+        model = build_model("gcn", 1, 2, np.random.default_rng(1), hidden_dim=8, num_layers=2)
+        model.eval()
+        together = model(GraphBatch.from_graphs(graphs)).data
+        separate = np.concatenate([model(GraphBatch.from_graphs([g])).data for g in graphs])
+        np.testing.assert_allclose(together, separate, atol=1e-8)
+
+    def test_readout_options(self, rng, batch):
+        for readout in ("sum", "mean", "max"):
+            model = build_model("gcn", 1, 2, np.random.default_rng(0), hidden_dim=8, num_layers=2, readout=readout)
+            assert model(batch).shape == (batch.num_graphs, 2)
+        with pytest.raises(ValueError):
+            build_model("gcn", 1, 2, np.random.default_rng(0), readout="median")

@@ -1,0 +1,114 @@
+"""Failure injection: malformed inputs and degenerate training regimes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import OODGNN, OODGNNConfig, OODGNNTrainer, RandomFourierFeatures, SampleWeightLearner
+from repro.encoders import build_model
+from repro.graph.data import Graph, GraphBatch
+from repro.graph.generators import erdos_renyi
+from repro.nn import cross_entropy
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(107)
+
+
+def labelled(graphs):
+    for i, g in enumerate(graphs):
+        g.y = i % 2
+    return graphs
+
+
+class TestDegenerateGraphs:
+    def test_single_node_graph_trains(self, rng):
+        graphs = labelled([Graph(x=np.ones((1, 1)), edge_index=np.zeros((2, 0))) for _ in range(8)])
+        model = build_model("gin", 1, 2, rng, hidden_dim=8, num_layers=2)
+        trainer = Trainer(model, "multiclass", TrainerConfig(epochs=1, batch_size=4), rng)
+        history = trainer.fit(graphs)
+        assert np.isfinite(history.train_loss).all()
+
+    def test_batch_of_edgeless_graphs(self, rng):
+        graphs = labelled([Graph(x=np.ones((3, 2)), edge_index=np.zeros((2, 0))) for _ in range(4)])
+        batch = GraphBatch.from_graphs(graphs)
+        for name in ("gcn", "gin", "pna", "sage"):
+            model = build_model(name, 2, 2, np.random.default_rng(0), hidden_dim=8, num_layers=2)
+            out = model(batch)
+            assert np.isfinite(out.data).all(), name
+
+    def test_mixed_sizes_extreme(self, rng):
+        big = erdos_renyi(200, 0.05, rng)
+        small = erdos_renyi(2, 1.0, rng)
+        graphs = labelled([big, small] * 2)
+        batch = GraphBatch.from_graphs(graphs)
+        model = build_model("sagpool", 1, 2, rng, hidden_dim=8, num_layers=2)
+        assert model(batch).shape == (4, 2)
+
+
+class TestExtremeValues:
+    def test_huge_feature_scale_stays_finite(self, rng):
+        graphs = labelled([erdos_renyi(6, 0.5, rng) for _ in range(4)])
+        for g in graphs:
+            g.x = g.x * 1e6
+        batch = GraphBatch.from_graphs(graphs)
+        model = build_model("gcn", 1, 2, rng, hidden_dim=8, num_layers=2)
+        loss = cross_entropy(model(batch), batch.y)
+        loss.backward()
+        assert np.isfinite(float(loss.data))
+
+    def test_weight_learner_constant_representations(self, rng):
+        """Zero-variance representations: no dependence to remove, the
+        learner must not blow up (standardisation guards the 0/0)."""
+        z = np.ones((32, 8))
+        rff = RandomFourierFeatures(num_functions=2, rng=rng)
+        learner = SampleWeightLearner(rff, epochs=3, lr=0.05)
+        result = learner.learn(z)
+        assert np.isfinite(result.final_loss)
+        assert result.weights.mean() == pytest.approx(1.0)
+
+    def test_weight_learner_single_pair_tiny_batch(self, rng):
+        z = rng.normal(size=(3, 2))
+        rff = RandomFourierFeatures(num_functions=1, rng=rng)
+        learner = SampleWeightLearner(rff, epochs=2, lr=0.05)
+        assert np.isfinite(learner.learn(z).final_loss)
+
+
+class TestTrainerRobustness:
+    def test_all_nan_task_column(self, rng):
+        """A task with no observed labels must not poison the loss."""
+        graphs = []
+        for i in range(8):
+            g = erdos_renyi(5, 0.5, rng)
+            g.y = np.array([float(i % 2), np.nan])
+            graphs.append(g)
+        model = build_model("gin", 1, 2, rng, hidden_dim=8, num_layers=2)
+        trainer = Trainer(model, "binary", TrainerConfig(epochs=1, batch_size=4), rng, metric="rocauc")
+        history = trainer.fit(graphs)
+        assert np.isfinite(history.train_loss).all()
+
+    def test_ood_gnn_batch_larger_than_dataset(self, rng):
+        graphs = labelled([erdos_renyi(5, 0.5, rng) for _ in range(6)])
+        cfg = OODGNNConfig(hidden_dim=8, num_layers=2, epochs=2, batch_size=64, reweight_epochs=2)
+        model = OODGNN(1, 2, rng, config=cfg)
+        trainer = OODGNNTrainer(model, "multiclass", np.random.default_rng(1), config=cfg)
+        history = trainer.fit(graphs)
+        assert len(history.train_loss) == 2
+
+    def test_single_class_training_set(self, rng):
+        graphs = [erdos_renyi(5, 0.5, rng) for _ in range(6)]
+        for g in graphs:
+            g.y = 1
+        model = build_model("gcn", 1, 2, rng, hidden_dim=8, num_layers=2)
+        trainer = Trainer(model, "multiclass", TrainerConfig(epochs=1, batch_size=4), rng)
+        history = trainer.fit(graphs)
+        assert np.isfinite(history.train_loss).all()
+
+    def test_nan_gradient_guard_in_tensor(self):
+        """log of a negative produces NaN immediately, not silently later."""
+        t = Tensor(np.array([-1.0]), requires_grad=True)
+        with np.errstate(invalid="ignore"):
+            out = t.log()
+        assert np.isnan(out.data).any()

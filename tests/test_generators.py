@@ -1,0 +1,64 @@
+"""Random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.utils import is_undirected, to_networkx
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(103)
+
+
+class TestFamilies:
+    def test_erdos_renyi_basic(self, rng):
+        g = generators.erdos_renyi(20, 0.3, rng)
+        assert g.num_nodes == 20
+        assert is_undirected(g.edge_index)
+
+    def test_erdos_renyi_density_tracks_p(self, rng):
+        dense = np.mean([generators.erdos_renyi(30, 0.6, rng).num_edges for _ in range(5)])
+        sparse = np.mean([generators.erdos_renyi(30, 0.1, rng).num_edges for _ in range(5)])
+        assert dense > 2 * sparse
+
+    def test_barabasi_albert_connected(self, rng):
+        import networkx as nx
+
+        g = generators.barabasi_albert(25, 2, rng)
+        assert nx.is_connected(to_networkx(g))
+
+    def test_barabasi_albert_clamps_attachment(self, rng):
+        g = generators.barabasi_albert(3, 10, rng)
+        assert g.num_nodes == 3
+
+    def test_watts_strogatz_even_k(self, rng):
+        g = generators.watts_strogatz(16, 5, 0.2, rng)  # odd k corrected to 4
+        assert g.num_nodes == 16
+
+    def test_stochastic_block_intra_density(self, rng):
+        g = generators.stochastic_block([15, 15], 0.8, 0.02, rng)
+        adj = np.zeros((30, 30))
+        adj[g.edge_index[0], g.edge_index[1]] = 1
+        intra = adj[:15, :15].sum() + adj[15:, 15:].sum()
+        inter = adj[:15, 15:].sum() + adj[15:, :15].sum()
+        assert intra > 3 * inter
+
+    def test_graph_from_edge_set_normalises(self):
+        g = generators.graph_from_edge_set(4, {(1, 0), (0, 1), (2, 2), (2, 3)})
+        # Duplicate orientation collapsed, self loop dropped.
+        assert g.num_edges == 4  # 2 undirected pairs, both directions stored
+
+    def test_random_tree_edges_span(self, rng):
+        edges = generators.random_tree_edges(10, rng)
+        assert len(edges) == 9
+        import networkx as nx
+
+        t = nx.Graph(edges)
+        assert nx.is_tree(t)
+
+    def test_reproducible_with_seed(self):
+        a = generators.erdos_renyi(15, 0.4, np.random.default_rng(5))
+        b = generators.erdos_renyi(15, 0.4, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.edge_index, b.edge_index)

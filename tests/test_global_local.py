@@ -1,0 +1,106 @@
+"""Global-local weight estimator: memory groups and momentum updates."""
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalLocalWeightEstimator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(59)
+
+
+class TestConstruction:
+    def test_scalar_momentum_broadcast(self):
+        est = GlobalLocalWeightEstimator(3, 0.9)
+        assert est.momentums == [0.9, 0.9, 0.9]
+
+    def test_per_group_momentum(self):
+        est = GlobalLocalWeightEstimator(2, [0.9, 0.5])
+        assert est.momentums == [0.9, 0.5]
+
+    def test_momentum_count_mismatch(self):
+        with pytest.raises(ValueError):
+            GlobalLocalWeightEstimator(2, [0.9])
+
+    def test_momentum_range(self):
+        with pytest.raises(ValueError):
+            GlobalLocalWeightEstimator(1, 1.0)
+        with pytest.raises(ValueError):
+            GlobalLocalWeightEstimator(1, -0.1)
+
+    def test_negative_groups(self):
+        with pytest.raises(ValueError):
+            GlobalLocalWeightEstimator(-1)
+
+
+class TestLifecycle:
+    def test_concat_before_init_returns_local_only(self, rng):
+        est = GlobalLocalWeightEstimator(2)
+        z = rng.normal(size=(8, 4))
+        z_hat, w_global = est.concat(z, np.ones(8))
+        np.testing.assert_allclose(z_hat, z)
+        assert w_global is None
+
+    def test_first_update_installs_copies(self, rng):
+        est = GlobalLocalWeightEstimator(2, 0.9)
+        z, w = rng.normal(size=(8, 4)), rng.uniform(0.5, 1.5, 8)
+        est.update(z, w)
+        assert est.initialised
+        np.testing.assert_allclose(est.global_representations(), np.concatenate([z, z]))
+        # Mutating the input must not mutate the memory.
+        z[0, 0] = 99.0
+        assert est.global_representations()[0, 0] != 99.0
+
+    def test_concat_shapes_after_init(self, rng):
+        est = GlobalLocalWeightEstimator(3, 0.9)
+        z = rng.normal(size=(8, 4))
+        est.update(z, np.ones(8))
+        z_hat, w_global = est.concat(z, np.ones(8))
+        assert z_hat.shape == ((3 + 1) * 8, 4)
+        assert w_global.shape == (24,)
+
+    def test_momentum_update_math(self):
+        est = GlobalLocalWeightEstimator(1, 0.9)
+        z0 = np.zeros((4, 2))
+        est.update(z0, np.zeros(4))
+        z1 = np.ones((4, 2))
+        est.update(z1, np.ones(4))
+        np.testing.assert_allclose(est.global_representations(), 0.1)
+        np.testing.assert_allclose(est.global_weights(), 0.1)
+
+    def test_long_vs_short_memory(self, rng):
+        est = GlobalLocalWeightEstimator(2, [0.99, 0.1])
+        est.update(np.zeros((4, 2)), np.zeros(4))
+        est.update(np.ones((4, 2)), np.ones(4))
+        z = est.global_representations()
+        long_term, short_term = z[:4], z[4:]
+        assert long_term.mean() < short_term.mean()
+
+    def test_zero_groups_disabled(self, rng):
+        est = GlobalLocalWeightEstimator(0)
+        z = rng.normal(size=(4, 2))
+        est.update(z, np.ones(4))
+        assert not est.initialised
+        z_hat, w_global = est.concat(z, np.ones(4))
+        np.testing.assert_allclose(z_hat, z)
+        assert w_global is None
+
+    def test_batch_shape_mismatch_raises(self, rng):
+        est = GlobalLocalWeightEstimator(1)
+        est.update(rng.normal(size=(8, 4)), np.ones(8))
+        with pytest.raises(ValueError):
+            est.update(rng.normal(size=(4, 4)), np.ones(4))
+
+    def test_width_mismatch_on_concat_raises(self, rng):
+        est = GlobalLocalWeightEstimator(1)
+        est.update(rng.normal(size=(8, 4)), np.ones(8))
+        with pytest.raises(ValueError):
+            est.concat(rng.normal(size=(8, 5)), np.ones(8))
+
+    def test_reset(self, rng):
+        est = GlobalLocalWeightEstimator(1)
+        est.update(rng.normal(size=(4, 2)), np.ones(4))
+        est.reset()
+        assert not est.initialised

@@ -1,0 +1,92 @@
+"""Graph and GraphBatch containers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBatch
+
+
+def small_graph(n=3, y=0):
+    edges = np.array([[0, 1, 1, 2], [1, 0, 2, 1]])
+    return Graph(x=np.eye(3)[:n, :], edge_index=edges[:, : 2 * (n - 1)], y=y)
+
+
+class TestGraph:
+    def test_basic_properties(self):
+        g = small_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 4
+        assert g.num_features == 3
+
+    def test_1d_features_promoted(self):
+        g = Graph(x=np.ones(4), edge_index=np.zeros((2, 0)))
+        assert g.x.shape == (4, 1)
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(ValueError):
+            Graph(x=np.ones((2, 1)), edge_index=np.array([[0], [5]]))
+
+    def test_with_features_copies_structure(self):
+        g = small_graph()
+        g2 = g.with_features(np.zeros((3, 7)))
+        assert g2.num_features == 7
+        np.testing.assert_array_equal(g2.edge_index, g.edge_index)
+        g2.edge_index[0, 0] = 2
+        assert g.edge_index[0, 0] == 0
+
+    def test_meta_default_independent(self):
+        a, b = small_graph(), small_graph()
+        a.meta["k"] = 1
+        assert "k" not in b.meta
+
+    def test_repr(self):
+        assert "nodes=3" in repr(small_graph())
+
+
+class TestGraphBatch:
+    def test_offsets(self):
+        g1, g2 = small_graph(y=0), small_graph(y=1)
+        batch = GraphBatch.from_graphs([g1, g2])
+        assert batch.num_graphs == 2
+        assert batch.num_nodes == 6
+        assert batch.edge_index.max() == 5
+        # Second graph's edges offset by 3.
+        np.testing.assert_array_equal(batch.edge_index[:, 4:], g2.edge_index + 3)
+
+    def test_batch_vector(self):
+        batch = GraphBatch.from_graphs([small_graph(), small_graph()])
+        np.testing.assert_array_equal(batch.batch, [0, 0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(batch.nodes_per_graph(), [3, 3])
+
+    def test_int_labels_stacked(self):
+        batch = GraphBatch.from_graphs([small_graph(y=0), small_graph(y=2)])
+        assert batch.y.dtype == np.int64
+        np.testing.assert_array_equal(batch.y, [0, 2])
+
+    def test_float_vector_labels_stacked(self):
+        g1, g2 = small_graph(), small_graph()
+        g1.y = np.array([0.5, np.nan])
+        g2.y = np.array([1.0, 0.0])
+        batch = GraphBatch.from_graphs([g1, g2])
+        assert batch.y.shape == (2, 2)
+        assert np.isnan(batch.y[0, 1])
+
+    def test_missing_labels_give_none(self):
+        g1, g2 = small_graph(), small_graph()
+        g1.y = None
+        assert GraphBatch.from_graphs([g1, g2]).y is None
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs([])
+
+    def test_edgeless_graphs(self):
+        g = Graph(x=np.ones((2, 1)), edge_index=np.zeros((2, 0)), y=0)
+        batch = GraphBatch.from_graphs([g, g])
+        assert batch.num_edges == 0
+        assert batch.num_nodes == 4
+
+    def test_preserves_graph_list(self):
+        graphs = [small_graph(), small_graph()]
+        batch = GraphBatch.from_graphs(graphs)
+        assert batch.graphs[0] is graphs[0]

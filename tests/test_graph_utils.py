@@ -1,0 +1,123 @@
+"""Graph utilities against networkx ground truth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    degrees,
+    add_self_loops,
+    gcn_norm_coefficients,
+    count_triangles,
+    to_networkx,
+    from_networkx,
+    is_undirected,
+    coalesce_edges,
+)
+from repro.graph.utils import undirected_edge_index
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestDegrees:
+    def test_path_graph(self):
+        edges = undirected_edge_index([(0, 1), (1, 2)])
+        np.testing.assert_array_equal(degrees(edges, 3), [1, 2, 1])
+
+    def test_isolated_nodes(self):
+        edges = undirected_edge_index([(0, 1)])
+        np.testing.assert_array_equal(degrees(edges, 4), [1, 1, 0, 0])
+
+    def test_empty_graph(self):
+        assert degrees(np.zeros((2, 0), dtype=np.int64), 3).sum() == 0
+
+
+class TestSelfLoops:
+    def test_appends_n_loops(self):
+        edges = undirected_edge_index([(0, 1)])
+        looped = add_self_loops(edges, 3)
+        assert looped.shape[1] == 2 + 3
+        loops = looped[:, -3:]
+        np.testing.assert_array_equal(loops[0], loops[1])
+
+    def test_empty_graph_all_loops(self):
+        looped = add_self_loops(np.zeros((2, 0), dtype=np.int64), 2)
+        assert looped.shape == (2, 2)
+
+
+class TestGCNNorm:
+    def test_matches_dense_formula(self, rng):
+        g = nx.gnp_random_graph(8, 0.4, seed=3)
+        graph = from_networkx(g)
+        looped = add_self_loops(graph.edge_index, 8)
+        norm = gcn_norm_coefficients(looped, 8)
+        adj = np.zeros((8, 8))
+        adj[looped[0], looped[1]] = norm
+        deg = np.asarray(nx.adjacency_matrix(g).todense()).sum(1) + 1
+        expected = np.diag(deg**-0.5) @ (np.asarray(nx.adjacency_matrix(g).todense()) + np.eye(8)) @ np.diag(deg**-0.5)
+        np.testing.assert_allclose(adj, expected, atol=1e-12)
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx_random(self, seed):
+        g = nx.gnp_random_graph(12, 0.35, seed=seed)
+        graph = from_networkx(g)
+        expected = sum(nx.triangles(g).values()) // 3
+        assert count_triangles(graph.edge_index, graph.num_nodes) == expected
+
+    def test_known_counts(self):
+        k4 = from_networkx(nx.complete_graph(4))
+        assert count_triangles(k4.edge_index, 4) == 4
+        cycle = from_networkx(nx.cycle_graph(5))
+        assert count_triangles(cycle.edge_index, 5) == 0
+
+    def test_empty(self):
+        assert count_triangles(np.zeros((2, 0), dtype=np.int64), 4) == 0
+
+
+class TestConversion:
+    def test_roundtrip(self):
+        g = nx.karate_club_graph()
+        graph = from_networkx(g)
+        back = to_networkx(graph)
+        assert back.number_of_nodes() == g.number_of_nodes()
+        assert back.number_of_edges() == g.number_of_edges()
+
+    def test_default_features_ones(self):
+        graph = from_networkx(nx.path_graph(3))
+        np.testing.assert_allclose(graph.x, 1.0)
+
+    def test_non_contiguous_labels_relabelled(self):
+        g = nx.Graph()
+        g.add_edges_from([(10, 20), (20, 30)])
+        graph = from_networkx(g)
+        assert graph.num_nodes == 3
+        assert graph.edge_index.max() == 2
+
+
+class TestEdgeOps:
+    def test_undirected_edge_index_symmetric(self):
+        edges = undirected_edge_index([(0, 1), (1, 2)])
+        assert is_undirected(edges)
+        assert edges.shape == (2, 4)
+
+    def test_is_undirected_detects_asymmetry(self):
+        assert not is_undirected(np.array([[0], [1]]))
+
+    def test_coalesce_removes_duplicates_and_loops(self):
+        edges = np.array([[0, 0, 1, 2, 2], [1, 1, 1, 0, 0]])
+        out = coalesce_edges(edges)
+        assert out.shape[1] == 2  # (0,1) and (2,0); loop (1,1) dropped
+        assert not (out[0] == out[1]).any()
+
+    def test_coalesce_empty(self):
+        out = coalesce_edges(np.zeros((2, 0), dtype=np.int64))
+        assert out.shape == (2, 0)
+
+    def test_coalesce_all_loops(self):
+        out = coalesce_edges(np.array([[0, 1], [0, 1]]))
+        assert out.shape == (2, 0)

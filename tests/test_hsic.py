@@ -1,0 +1,134 @@
+"""HSIC and the pairwise decorrelation loss."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import hsic_gaussian, weighted_cross_covariance, pairwise_decorrelation_loss
+from repro.core.hsic import block_offdiagonal_mask
+from repro.core.rff import RandomFourierFeatures
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(47)
+
+
+class TestHSIC:
+    def test_zero_for_independent(self, rng):
+        x, y = rng.normal(size=400), rng.normal(size=400)
+        assert hsic_gaussian(x, y) < 0.01
+
+    def test_large_for_dependent(self, rng):
+        x = rng.normal(size=400)
+        y = np.sin(2 * x) + 0.05 * rng.normal(size=400)
+        dependent = hsic_gaussian(x, y)
+        independent = hsic_gaussian(x, rng.normal(size=400))
+        assert dependent > 5 * independent
+
+    def test_detects_nonlinear_dependence(self, rng):
+        """|x| is uncorrelated with x but strongly HSIC-dependent."""
+        x = rng.normal(size=500)
+        y = np.abs(x) + 0.01 * rng.normal(size=500)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.15
+        assert hsic_gaussian(x, y) > 3 * hsic_gaussian(x, rng.normal(size=500))
+
+    def test_symmetry(self, rng):
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        assert hsic_gaussian(x, y) == pytest.approx(hsic_gaussian(y, x), abs=1e-12)
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            hsic_gaussian(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            hsic_gaussian(np.zeros(1), np.zeros(1))
+
+
+class TestCrossCovariance:
+    def test_shape(self, rng):
+        fi, fj = rng.normal(size=(20, 3)), rng.normal(size=(20, 3))
+        out = weighted_cross_covariance(fi, fj, Tensor(np.ones(20)))
+        assert out.shape == (3, 3)
+
+    def test_zero_for_constant_features(self):
+        fi = np.ones((10, 2))
+        fj = np.ones((10, 2))
+        out = weighted_cross_covariance(fi, fj, Tensor(np.ones(10)))
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-12)
+
+    def test_matches_manual_unweighted(self, rng):
+        fi, fj = rng.normal(size=(30, 2)), rng.normal(size=(30, 2))
+        out = weighted_cross_covariance(fi, fj, Tensor(np.ones(30))).data
+        ci = fi - fi.mean(axis=0)
+        cj = fj - fj.mean(axis=0)
+        np.testing.assert_allclose(out, ci.T @ cj / 29, atol=1e-12)
+
+    def test_differentiable_in_weights(self, rng):
+        fi, fj = rng.normal(size=(10, 2)), rng.normal(size=(10, 2))
+        w = Tensor(np.ones(10), requires_grad=True)
+        (weighted_cross_covariance(fi, fj, w) ** 2).sum().backward()
+        assert w.grad is not None
+        assert np.abs(w.grad).sum() > 0
+
+
+class TestBlockMask:
+    def test_structure(self):
+        mask = block_offdiagonal_mask(3, 2)
+        assert mask.shape == (6, 6)
+        np.testing.assert_allclose(mask[:2, :2], 0.0)
+        np.testing.assert_allclose(mask[:2, 2:4], 1.0)
+        assert mask.sum() == 36 - 3 * 4
+
+
+class TestDecorrelationLoss:
+    def test_matches_pairwise_sum(self, rng):
+        """The Gram-trick loss equals the explicit sum over i<j pairs."""
+        n, d, q = 30, 4, 2
+        feats = rng.normal(size=(n, d, q))
+        w = Tensor(np.ones(n))
+        fast = float(pairwise_decorrelation_loss(feats, w).data)
+        slow = 0.0
+        for i in range(d):
+            for j in range(i + 1, d):
+                c = weighted_cross_covariance(feats[:, i, :], feats[:, j, :], w)
+                slow += float((c * c).sum().data)
+        assert fast == pytest.approx(slow, rel=1e-10)
+
+    def test_dependent_larger_than_independent(self, rng):
+        rff = RandomFourierFeatures(num_functions=5, rng=np.random.default_rng(0))
+        z_ind = rng.normal(size=(300, 4))
+        z_dep = z_ind.copy()
+        z_dep[:, 1] = np.tanh(2 * z_dep[:, 0]) + 0.05 * rng.normal(size=300)
+        w = Tensor(np.ones(300))
+        loss_ind = float(pairwise_decorrelation_loss(rff(z_ind), w).data)
+        loss_dep = float(pairwise_decorrelation_loss(rff(z_dep), w).data)
+        assert loss_dep > loss_ind
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_decorrelation_loss(rng.normal(size=(5, 3)), Tensor(np.ones(5)))
+        with pytest.raises(ValueError):
+            pairwise_decorrelation_loss(rng.normal(size=(5, 1, 2)), Tensor(np.ones(5)))
+
+    def test_gradient_wrt_weights(self, rng):
+        from repro.autograd.grad_check import check_gradients
+
+        feats = rng.normal(size=(8, 3, 2))
+        w = Tensor(rng.uniform(0.5, 1.5, size=8), requires_grad=True)
+        check_gradients(lambda: pairwise_decorrelation_loss(feats, w), [w])
+
+    def test_scales_linearly_with_samples(self, rng):
+        """Loss is an average, not a sum, over samples (O(n) computation)."""
+        rff = RandomFourierFeatures(num_functions=2, rng=np.random.default_rng(1))
+        z = rng.normal(size=(100, 3))
+        doubled = np.concatenate([z, z])
+        w1 = Tensor(np.ones(100))
+        w2 = Tensor(np.ones(200))
+        feats = RandomFourierFeatures(num_functions=2, rng=np.random.default_rng(2))
+        f1 = feats(z)
+        # Same random functions applied to the doubled sample.
+        feats2 = RandomFourierFeatures(num_functions=2, rng=np.random.default_rng(2))
+        f2 = feats2(doubled)
+        l1 = float(pairwise_decorrelation_loss(f1, w1).data)
+        l2 = float(pairwise_decorrelation_loss(f2, w2).data)
+        assert l2 == pytest.approx(l1, rel=0.05)

@@ -1,0 +1,86 @@
+"""Metrics: accuracy, ROC-AUC (ties, multi-task, NaN), RMSE."""
+
+import numpy as np
+import pytest
+
+from repro.training import accuracy, roc_auc, rmse, evaluate_metric
+
+
+class TestAccuracy:
+    def test_multiclass(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_binary_from_scores(self):
+        scores = np.array([0.5, -0.2, 1.0])
+        assert accuracy(scores, np.array([1, 0, 1])) == 1.0
+
+
+class TestROCAUC:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0.1, 0.2, 0.8, 0.9]), np.array([0, 0, 1, 1])) == 1.0
+
+    def test_perfect_inversion(self):
+        assert roc_auc(np.array([0.9, 0.8, 0.2, 0.1]), np.array([0, 0, 1, 1])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=2000)
+        labels = rng.integers(0, 2, 2000)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0, 1, 0, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_matches_naive_pairwise(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=50)
+        labels = rng.integers(0, 2, 50)
+        pos, neg = scores[labels == 1], scores[labels == 0]
+        pairs = (pos[:, None] > neg[None, :]).mean() + 0.5 * (pos[:, None] == neg[None, :]).mean()
+        assert roc_auc(scores, labels) == pytest.approx(pairs, abs=1e-12)
+
+    def test_multitask_averages_valid_tasks(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9], [0.8, 0.5], [0.2, 0.5]])
+        # Task 0 perfectly separable; task 1 all same label -> skipped.
+        targets = np.array([[1.0, 1.0], [0.0, 1.0], [1.0, 1.0], [0.0, 1.0]])
+        assert roc_auc(scores, targets) == 1.0
+
+    def test_nan_masked(self):
+        scores = np.array([[0.9], [0.1], [0.5], [0.6]])
+        targets = np.array([[1.0], [0.0], [np.nan], [np.nan]])
+        assert roc_auc(scores, targets) == 1.0
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    def test_rank_invariance(self):
+        """AUC depends only on score order, so logits and sigmoids agree."""
+        scores = np.array([-2.0, 0.5, 3.0, -1.0])
+        labels = np.array([0, 1, 1, 0])
+        sig = 1 / (1 + np.exp(-scores))
+        assert roc_auc(scores, labels) == roc_auc(sig, labels)
+
+
+class TestRMSE:
+    def test_value(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([0.0, 1.0])) == pytest.approx(np.sqrt(2.5))
+
+    def test_nan_targets_ignored(self):
+        assert rmse(np.array([1.0, 100.0]), np.array([0.0, np.nan])) == pytest.approx(1.0)
+
+    def test_zero_for_exact(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+
+class TestDispatch:
+    def test_known_metrics(self):
+        assert evaluate_metric("accuracy", np.array([[1.0, 0.0]]), np.array([0])) == 1.0
+        assert evaluate_metric("rmse", np.array([1.0]), np.array([1.0])) == 0.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            evaluate_metric("f1", np.zeros(2), np.zeros(2))

@@ -1,0 +1,110 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Module, Parameter, Sequential, ModuleList, Linear, MLP
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class Nested(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.inner = Linear(2, 2, rng)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.inner(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered(self, rng):
+        m = Nested(rng)
+        names = dict(m.named_parameters())
+        assert set(names) == {"scale", "inner.weight", "inner.bias"}
+
+    def test_num_parameters(self, rng):
+        m = Nested(rng)
+        assert m.num_parameters() == 1 + 4 + 2
+
+    def test_modules_iteration(self, rng):
+        m = Nested(rng)
+        kinds = [type(x).__name__ for x in m.modules()]
+        assert kinds == ["Nested", "Linear"]
+
+    def test_module_list(self, rng):
+        ml = ModuleList([Linear(2, 2, rng), Linear(2, 2, rng)])
+        assert len(ml) == 2
+        assert len(list(ml)) == 2
+        assert ml[1] is not ml[0]
+        parent = Module()
+        parent.layers = ml
+        assert len(parent.parameters()) == 4
+
+
+class TestModes:
+    def test_train_eval_propagate(self, rng):
+        m = MLP([2, 4, 1], rng, dropout=0.5)
+        m.eval()
+        assert all(not mod.training for mod in m.modules())
+        m.train()
+        assert all(mod.training for mod in m.modules())
+
+    def test_zero_grad_recursive(self, rng):
+        m = Nested(rng)
+        out = m(Tensor(rng.normal(size=(3, 2))))
+        out.sum().backward()
+        assert m.inner.weight.grad is not None
+        m.zero_grad()
+        assert m.inner.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        m1, m2 = Nested(rng), Nested(np.random.default_rng(99))
+        m2.load_state_dict(m1.state_dict())
+        x = Tensor(rng.normal(size=(3, 2)))
+        np.testing.assert_allclose(m1(x).data, m2(x).data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        state["scale"][0] = 123.0
+        assert m.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        state["scale"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+
+class TestForward:
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_sequential_empty(self):
+        seq = Sequential()
+        x = Tensor(np.ones(2))
+        assert seq(x) is x

@@ -1,0 +1,135 @@
+"""Losses: cross-entropy, masked BCE-with-logits, MSE, weighted dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients
+from repro.nn import (
+    cross_entropy,
+    binary_cross_entropy_with_logits,
+    mse_loss,
+    weighted_prediction_loss,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 1])
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        got = float(cross_entropy(Tensor(logits), targets).data)
+        assert got == pytest.approx(expected, abs=1e-10)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = float(cross_entropy(Tensor(logits), np.array([0, 1])).data)
+        assert loss < 1e-6
+
+    def test_per_sample_weights(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3)))
+        targets = np.array([0, 1])
+        unweighted = cross_entropy(logits, targets, reduction="none").data
+        weighted = float(cross_entropy(logits, targets, weights=np.array([2.0, 0.0])).data)
+        assert weighted == pytest.approx(unweighted[0] * 2.0 / 2.0, abs=1e-10)
+
+    def test_weight_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.array([0, 1]), weights=np.ones(3))
+
+    def test_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        check_gradients(lambda: cross_entropy(logits, targets), [logits])
+
+    def test_reductions(self, rng):
+        logits = Tensor(rng.normal(size=(4, 2)))
+        targets = np.array([0, 1, 0, 1])
+        none = cross_entropy(logits, targets, reduction="none").data
+        assert none.shape == (4,)
+        assert float(cross_entropy(logits, targets, reduction="sum").data) == pytest.approx(none.sum())
+        with pytest.raises(ValueError):
+            cross_entropy(logits, targets, reduction="median")
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(5, 1))
+        targets = rng.integers(0, 2, size=(5, 1)).astype(float)
+        p = 1.0 / (1.0 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        got = float(binary_cross_entropy_with_logits(Tensor(logits), targets).data)
+        assert got == pytest.approx(expected, abs=1e-8)
+
+    def test_nan_labels_are_masked(self, rng):
+        logits = Tensor(rng.normal(size=(3, 2)))
+        targets = np.array([[1.0, np.nan], [0.0, 1.0], [np.nan, np.nan]])
+        loss = binary_cross_entropy_with_logits(logits, targets)
+        assert np.isfinite(float(loss.data))
+
+    def test_nan_labels_zero_gradient(self):
+        logits = Tensor(np.zeros((2, 2)), requires_grad=True)
+        targets = np.array([[np.nan, np.nan], [1.0, 0.0]])
+        binary_cross_entropy_with_logits(logits, targets).backward()
+        np.testing.assert_allclose(logits.grad[0], 0.0)
+        assert np.abs(logits.grad[1]).sum() > 0
+
+    def test_extreme_logits_stable(self):
+        logits = Tensor(np.array([[1000.0], [-1000.0]]))
+        targets = np.array([[1.0], [0.0]])
+        loss = float(binary_cross_entropy_with_logits(logits, targets).data)
+        assert loss == pytest.approx(0.0, abs=1e-8)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            binary_cross_entropy_with_logits(Tensor(np.zeros((2, 3))), np.zeros((2, 2)))
+
+    def test_gradient_with_mask_and_weights(self, rng):
+        logits = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        targets = np.array([[1.0, np.nan], [0.0, 1.0], [1.0, 0.0]])
+        w = Tensor(np.array([1.0, 2.0, 0.5]))
+        check_gradients(
+            lambda: binary_cross_entropy_with_logits(logits, targets, weights=w), [logits]
+        )
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([[1.0], [3.0]]))
+        loss = float(mse_loss(pred, np.array([[0.0], [1.0]])).data)
+        assert loss == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_weights(self):
+        pred = Tensor(np.array([[1.0], [3.0]]))
+        loss = float(mse_loss(pred, np.array([[0.0], [1.0]]), weights=np.array([0.0, 2.0])).data)
+        assert loss == pytest.approx(4.0)
+
+    def test_gradient(self, rng):
+        pred = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        targets = rng.normal(size=(4, 2))
+        check_gradients(lambda: mse_loss(pred, targets), [pred])
+
+
+class TestDispatch:
+    def test_multiclass(self, rng):
+        loss = weighted_prediction_loss(Tensor(rng.normal(size=(2, 3))), np.array([0, 1]), "multiclass")
+        assert np.isfinite(float(loss.data))
+
+    def test_binary(self, rng):
+        loss = weighted_prediction_loss(Tensor(rng.normal(size=(2, 1))), np.array([[1.0], [0.0]]), "binary")
+        assert np.isfinite(float(loss.data))
+
+    def test_regression(self, rng):
+        loss = weighted_prediction_loss(Tensor(rng.normal(size=(2, 1))), np.zeros((2, 1)), "regression")
+        assert np.isfinite(float(loss.data))
+
+    def test_unknown_task(self, rng):
+        with pytest.raises(ValueError):
+            weighted_prediction_loss(Tensor(np.zeros((1, 1))), np.zeros((1, 1)), "ranking")

@@ -1,0 +1,102 @@
+"""Optimisers: convergence on convex problems, state handling, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def quadratic_minimise(optimizer_factory, steps=300):
+    """Minimise ||x - target||^2 and return the final point."""
+    x = Parameter(np.array([5.0, -3.0]))
+    target = np.array([1.0, 2.0])
+    opt = optimizer_factory([x])
+    for _ in range(steps):
+        opt.zero_grad()
+        diff = x - Tensor(target)
+        (diff * diff).sum().backward()
+        opt.step()
+    return x.data, target
+
+
+class TestSGD:
+    def test_converges(self):
+        final, target = quadratic_minimise(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, target, atol=1e-4)
+
+    def test_momentum_converges(self):
+        final, target = quadratic_minimise(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(final, target, atol=1e-4)
+
+    def test_weight_decay_shrinks(self):
+        x = Parameter(np.array([1.0]))
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        x.grad = np.array([0.0])
+        opt.step()
+        assert x.data[0] == pytest.approx(0.9)
+
+    def test_skips_params_without_grad(self):
+        x = Parameter(np.array([1.0]))
+        SGD([x], lr=0.1).step()
+        assert x.data[0] == 1.0
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges(self):
+        final, target = quadratic_minimise(lambda p: Adam(p, lr=0.05))
+        np.testing.assert_allclose(final, target, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr regardless of
+        # gradient magnitude.
+        x = Parameter(np.array([0.0]))
+        opt = Adam([x], lr=0.1)
+        x.grad = np.array([1e6])
+        opt.step()
+        assert x.data[0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_zero_grad_clears(self):
+        x = Parameter(np.array([1.0]))
+        x.grad = np.array([1.0])
+        Adam([x]).zero_grad()
+        assert x.grad is None
+
+
+class TestAdamW:
+    def test_decoupled_decay_applied(self):
+        x = Parameter(np.array([1.0]))
+        opt = AdamW([x], lr=0.1, weight_decay=0.5)
+        x.grad = np.array([0.0])
+        opt.step()
+        # Decay shrinks by lr*wd = 0.05; Adam step is 0 for zero grad.
+        assert x.data[0] == pytest.approx(0.95)
+
+    def test_weight_decay_preserved_after_step(self):
+        opt = AdamW([Parameter(np.zeros(1))], lr=0.1, weight_decay=0.5)
+        opt.params[0].grad = np.zeros(1)
+        opt.step()
+        assert opt.weight_decay == 0.5
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        x = Parameter(np.zeros(2))
+        x.grad = np.array([3.0, 4.0])
+        pre = clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_no_clip_when_small(self):
+        x = Parameter(np.zeros(2))
+        x.grad = np.array([0.3, 0.4])
+        clip_grad_norm([x], max_norm=1.0)
+        np.testing.assert_allclose(x.grad, [0.3, 0.4])
+
+    def test_empty_grads(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], 1.0) == 0.0

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.core.decorrelation import project_weights
+from repro.core.hsic import block_offdiagonal_mask, pairwise_decorrelation_loss
+from repro.graph.utils import undirected_edge_index, coalesce_edges, is_undirected, degrees, count_triangles
+from repro.training.metrics import roc_auc
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestSegmentProperties:
+    @given(
+        data=arrays(np.float64, shape=st.tuples(st.integers(1, 20), st.integers(1, 4)), elements=finite_floats),
+        num_segments=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_sum_conserves_mass(self, data, num_segments, seed):
+        """Total mass is preserved: sum of segment sums == sum of input."""
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, num_segments, size=data.shape[0])
+        out = F.segment_sum(Tensor(data), ids, num_segments).data
+        np.testing.assert_allclose(out.sum(), data.sum(), atol=1e-8 * max(1, abs(data).sum()))
+
+    @given(
+        data=arrays(np.float64, shape=st.tuples(st.integers(1, 20), st.integers(1, 3)), elements=finite_floats),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_max_bounded_by_global_max(self, data, seed):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 3, size=data.shape[0])
+        out = F.segment_max(Tensor(data), ids, 3, empty_value=data.min()).data
+        assert out.max() <= data.max() + 1e-12
+
+    @given(
+        data=arrays(np.float64, shape=st.tuples(st.integers(2, 16),), elements=finite_floats),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_softmax_is_distribution_per_segment(self, data, seed):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 3, size=data.shape[0])
+        out = F.segment_softmax(Tensor(data), ids, 3).data
+        sums = np.bincount(ids, weights=out, minlength=3)
+        present = np.bincount(ids, minlength=3) > 0
+        np.testing.assert_allclose(sums[present], 1.0, atol=1e-6)
+
+
+class TestWeightProjectionProperties:
+    @given(
+        weights=arrays(np.float64, shape=st.integers(2, 50), elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_projection_invariants(self, weights):
+        out = project_weights(weights)
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.mean(), 1.0, atol=1e-9)
+        # Idempotence.
+        np.testing.assert_allclose(project_weights(out), out, atol=1e-9)
+
+    @given(
+        weights=arrays(
+            np.float64, shape=st.integers(2, 30), elements=st.floats(0.01, 100, allow_nan=False)
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_projection_preserves_order(self, weights):
+        out = project_weights(weights)
+        order_in = np.argsort(weights, kind="stable")
+        order_out = np.argsort(out, kind="stable")
+        np.testing.assert_array_equal(order_in, order_out)
+
+
+class TestDecorrelationProperties:
+    @given(
+        n=st.integers(4, 30), d=st.integers(2, 5), q=st.integers(1, 3), seed=st.integers(0, 10_000)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_loss_nonnegative(self, n, d, q, seed):
+        rng = np.random.default_rng(seed)
+        feats = rng.normal(size=(n, d, q))
+        loss = float(pairwise_decorrelation_loss(feats, Tensor(np.ones(n))).data)
+        assert loss >= 0.0
+
+    @given(d=st.integers(2, 6), q=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_symmetric_zero_diag_blocks(self, d, q):
+        mask = block_offdiagonal_mask(d, q)
+        np.testing.assert_array_equal(mask, mask.T)
+        for i in range(d):
+            block = mask[i * q : (i + 1) * q, i * q : (i + 1) * q]
+            np.testing.assert_array_equal(block, 0.0)
+
+
+class TestGraphProperties:
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=0, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_undirected_edge_index_always_symmetric(self, pairs):
+        pairs = [(u, v) for u, v in pairs if u != v]
+        edges = undirected_edge_index(pairs)
+        assert is_undirected(edges)
+        assert edges.shape[1] == 2 * len(pairs)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coalesce_idempotent_and_loop_free(self, pairs):
+        edges = np.asarray(pairs, dtype=np.int64).T
+        once = coalesce_edges(edges)
+        twice = coalesce_edges(once)
+        np.testing.assert_array_equal(once, twice)
+        if once.size:
+            assert (once[0] != once[1]).all()
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(3, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_degree_sum_equals_edge_count(self, seed, n):
+        rng = np.random.default_rng(seed)
+        mask = np.triu(rng.random((n, n)) < 0.4, k=1)
+        src, dst = np.nonzero(mask)
+        edges = undirected_edge_index(list(zip(src.tolist(), dst.tolist())))
+        assert degrees(edges, n).sum() == edges.shape[1]
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_count_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = nx.gnp_random_graph(10, 0.4, seed=seed)
+        from repro.graph.utils import from_networkx
+
+        graph = from_networkx(g)
+        assert count_triangles(graph.edge_index, 10) == sum(nx.triangles(g).values()) // 3
+
+
+class TestMetricProperties:
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_auc_complement_symmetry(self, seed, n):
+        """Flipping labels maps AUC to 1 - AUC."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = rng.integers(0, 2, size=n)
+        if len(np.unique(labels)) < 2:
+            labels[0], labels[1] = 0, 1
+        auc = roc_auc(scores, labels)
+        flipped = roc_auc(scores, 1 - labels)
+        assert auc == round(1.0 - flipped, 12) or abs(auc + flipped - 1.0) < 1e-9
+
+    @given(seed=st.integers(0, 10_000), shift=st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_auc_monotone_invariance(self, seed, shift):
+        """AUC is invariant to strictly monotone score transforms."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=30)
+        labels = rng.integers(0, 2, size=30)
+        if len(np.unique(labels)) < 2:
+            labels[0], labels[1] = 0, 1
+        a = roc_auc(scores, labels)
+        b = roc_auc(np.exp(shift * scores), labels)
+        assert a == round(b, 12) or abs(a - b) < 1e-9

@@ -1,0 +1,83 @@
+"""Random Fourier features: shapes, modes, and statistical behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import RandomFourierFeatures
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(43)
+
+
+class TestShapes:
+    def test_output_shape(self, rng):
+        rff = RandomFourierFeatures(num_functions=3, rng=rng)
+        out = rff(rng.normal(size=(10, 4)))
+        assert out.shape == (10, 4, 3)
+
+    def test_rejects_non_matrix(self, rng):
+        rff = RandomFourierFeatures(rng=rng)
+        with pytest.raises(ValueError):
+            rff(np.zeros(5))
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(num_functions=0)
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(fraction=0.0)
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(fraction=1.5)
+
+
+class TestModes:
+    def test_linear_mode_is_identity(self, rng):
+        rff = RandomFourierFeatures(linear=True, rng=rng)
+        z = rng.normal(size=(6, 3))
+        out = rff(z)
+        np.testing.assert_allclose(out[:, :, 0], z)
+
+    def test_fraction_selects_subset(self, rng):
+        rff = RandomFourierFeatures(fraction=0.5, rng=rng)
+        out = rff(rng.normal(size=(8, 10)))
+        assert out.shape[1] == 5
+
+    def test_fraction_minimum_two_dims(self, rng):
+        rff = RandomFourierFeatures(fraction=0.01, rng=rng)
+        cols = rff.select_dimensions(10)
+        assert len(cols) == 2
+
+    def test_full_fraction_keeps_all(self, rng):
+        rff = RandomFourierFeatures(fraction=1.0, rng=rng)
+        np.testing.assert_array_equal(rff.select_dimensions(7), np.arange(7))
+
+
+class TestStatistics:
+    def test_bounded_by_sqrt2(self, rng):
+        rff = RandomFourierFeatures(num_functions=4, rng=rng)
+        out = rff(rng.normal(size=(50, 3)))
+        assert np.abs(out).max() <= np.sqrt(2.0) + 1e-12
+
+    def test_resampled_each_call(self, rng):
+        rff = RandomFourierFeatures(rng=rng)
+        z = rng.normal(size=(10, 2))
+        assert not np.allclose(rff(z), rff(z))
+
+    def test_deterministic_given_seed(self):
+        z = np.random.default_rng(0).normal(size=(10, 2))
+        a = RandomFourierFeatures(rng=np.random.default_rng(5))(z)
+        b = RandomFourierFeatures(rng=np.random.default_rng(5))(z)
+        np.testing.assert_allclose(a, b)
+
+    def test_kernel_approximation(self, rng):
+        """E[h(x)h(y)] over draws approximates the Gaussian kernel."""
+        x, y = 0.3, 1.1
+        z = np.array([[x], [y]])
+        products = []
+        for _ in range(4000):
+            feats = RandomFourierFeatures(num_functions=1, rng=rng)(z)
+            products.append(feats[0, 0, 0] * feats[1, 0, 0])
+        estimate = np.mean(products)
+        expected = np.exp(-((x - y) ** 2) / 2.0)
+        assert estimate == pytest.approx(expected, abs=0.05)

@@ -1,0 +1,110 @@
+"""LR schedulers and checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, MLP
+from repro.nn.module import Parameter
+from repro.nn.schedulers import StepLR, CosineAnnealingLR, LinearWarmupLR
+from repro.nn.checkpoint import save_checkpoint, load_checkpoint
+from repro.autograd import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+def make_optimizer(lr=0.1):
+    return Adam([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = make_optimizer(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.1, 0.05, 0.05, 0.025])
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestCosine:
+    def test_reaches_eta_min(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.001)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.001)
+
+    def test_monotone_decreasing(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_after_t_max(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=3)
+        for _ in range(6):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+class TestWarmup:
+    def test_starts_at_zero(self):
+        opt = make_optimizer(0.1)
+        LinearWarmupLR(opt, warmup_epochs=5)
+        assert opt.lr == 0.0
+
+    def test_ramps_then_flat(self):
+        opt = make_optimizer(0.1)
+        sched = LinearWarmupLR(opt, warmup_epochs=4)
+        lrs = [sched.step() for _ in range(6)]
+        np.testing.assert_allclose(lrs, [0.025, 0.05, 0.075, 0.1, 0.1, 0.1])
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, rng, tmp_path):
+        m1 = MLP([3, 8, 2], rng)
+        m2 = MLP([3, 8, 2], np.random.default_rng(999))
+        path = tmp_path / "model.npz"
+        save_checkpoint(m1, path, metadata={"epoch": 7, "dataset": "proteins25"})
+        meta = load_checkpoint(m2, path)
+        assert meta == {"epoch": 7, "dataset": "proteins25"}
+        x = Tensor(rng.normal(size=(4, 3)))
+        np.testing.assert_allclose(m1(x).data, m2(x).data)
+
+    def test_suffix_added(self, rng, tmp_path):
+        m = MLP([2, 2], rng)
+        save_checkpoint(m, tmp_path / "weights")
+        assert (tmp_path / "weights.npz").exists()
+        load_checkpoint(m, tmp_path / "weights")
+
+    def test_mismatched_model_raises(self, rng, tmp_path):
+        m1 = MLP([3, 8, 2], rng)
+        m2 = MLP([3, 4, 2], rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(m1, path)
+        with pytest.raises(ValueError):
+            load_checkpoint(m2, path)
+
+    def test_empty_metadata_default(self, rng, tmp_path):
+        m = MLP([2, 2], rng)
+        path = tmp_path / "m.npz"
+        save_checkpoint(m, path)
+        assert load_checkpoint(m, path) == {}
+
+    def test_ood_gnn_checkpoint(self, tmp_path):
+        from repro.core import OODGNN, OODGNNConfig
+
+        cfg = OODGNNConfig(hidden_dim=8, num_layers=2)
+        m1 = OODGNN(3, 2, np.random.default_rng(0), config=cfg)
+        m2 = OODGNN(3, 2, np.random.default_rng(1), config=cfg)
+        save_checkpoint(m1, tmp_path / "ood.npz")
+        load_checkpoint(m2, tmp_path / "ood.npz")
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_allclose(p1.data, p2.data)
