@@ -8,7 +8,11 @@ This package implements the paper's contribution:
   cross-covariance of Eqs. (3) and (5).
 * :mod:`repro.core.decorrelation` — the decorrelation objective over all
   dimension pairs (Eq. (7)/(10)) and the projected sample-weight
-  optimiser.
+  optimiser, with ``backend="fused"`` (closed-form, default) and
+  ``backend="autograd"`` (taped reference) engines.
+* :mod:`repro.core.fused` — the closed-form loss/gradient engine behind
+  the fused backend: analytical weight gradients, a precomputed
+  sample-space Gram, cached block masks and an in-place Adam.
 * :mod:`repro.core.global_local` — the global-local weight estimator with
   momentum memory groups (Eqs. (8) and (9)).
 * :mod:`repro.core.ood_gnn` — the OOD-GNN model and the Algorithm-1
@@ -17,6 +21,7 @@ This package implements the paper's contribution:
 
 from repro.core.rff import RandomFourierFeatures
 from repro.core.hsic import hsic_gaussian, weighted_cross_covariance, pairwise_decorrelation_loss
+from repro.core.fused import FusedDecorrelation, InPlaceAdam
 from repro.core.decorrelation import SampleWeightLearner, project_weights
 from repro.core.global_local import GlobalLocalWeightEstimator
 from repro.core.ood_gnn import OODGNN, OODGNNConfig, OODGNNTrainer
@@ -26,6 +31,8 @@ __all__ = [
     "hsic_gaussian",
     "weighted_cross_covariance",
     "pairwise_decorrelation_loss",
+    "FusedDecorrelation",
+    "InPlaceAdam",
     "SampleWeightLearner",
     "project_weights",
     "GlobalLocalWeightEstimator",

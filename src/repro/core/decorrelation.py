@@ -6,6 +6,17 @@ representations it learns the local weights that minimise the pairwise
 decorrelation loss, under the paper's constraints — weights stay
 non-negative, average to one (``sum w = N``), and carry an l2 penalty to
 avoid degenerate solutions.
+
+Two interchangeable backends drive the loop:
+
+* ``"fused"`` (default) — the closed-form engine of
+  :mod:`repro.core.fused`: analytical gradients in pure numpy, no tape,
+  with the sample-space Gram precomputed once per batch.
+* ``"autograd"`` — the taped reference built on
+  :func:`repro.core.hsic.pairwise_decorrelation_loss`; kept as the ground
+  truth the fused path is verified against (to 1e-8 by
+  ``tests/test_fused_decorrelation.py``) and as the fallback for exotic
+  differentiation needs.
 """
 
 from __future__ import annotations
@@ -15,11 +26,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.autograd.tensor import Tensor, concatenate
+from repro.core.fused import FusedDecorrelation, InPlaceAdam
 from repro.core.hsic import pairwise_decorrelation_loss
 from repro.core.rff import RandomFourierFeatures
 from repro.nn.optim import Adam
 
 __all__ = ["SampleWeightLearner", "project_weights", "WeightLearningResult"]
+
+BACKENDS = ("fused", "autograd")
 
 
 def project_weights(weights: np.ndarray, floor: float = 0.0, ceiling: float | None = None) -> np.ndarray:
@@ -76,6 +90,10 @@ class SampleWeightLearner:
         Gaussian kernel — so inputs must be on unit scale for the
         dependence estimate to be meaningful (sum-pooled GNN outputs can
         be orders of magnitude larger).
+    backend:
+        ``"fused"`` (closed-form numpy engine, default) or ``"autograd"``
+        (taped reference).  Both draw random features through the same rng
+        calls, so a fixed seed yields the same objective under either.
     """
 
     def __init__(
@@ -87,9 +105,12 @@ class SampleWeightLearner:
         resample_rff: bool = False,
         standardise: bool = True,
         max_weight: float = 5.0,
+        backend: str = "fused",
     ):
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.rff = rff
         self.epochs = epochs
         self.lr = lr
@@ -97,6 +118,7 @@ class SampleWeightLearner:
         self.resample_rff = resample_rff
         self.standardise = standardise
         self.max_weight = max_weight
+        self.backend = backend
 
     def _prepare(self, representations: np.ndarray) -> np.ndarray:
         z = np.asarray(representations, dtype=np.float64)
@@ -107,8 +129,19 @@ class SampleWeightLearner:
         return (z - mean) / np.maximum(std, 1e-8)
 
     def decorrelation_loss(self, representations: np.ndarray, weights) -> Tensor:
-        """Decorrelation objective for given representations and weights."""
+        """Decorrelation objective for given representations and weights.
+
+        Dispatches to the closed-form evaluator when the fused backend is
+        active and no gradient is requested through ``weights``; otherwise
+        falls back to the taped reference loss.
+        """
         feats = self.rff(self._prepare(representations))
+        needs_tape = isinstance(weights, Tensor) and (weights.requires_grad or weights._parents)
+        if self.backend == "fused" and not needs_tape:
+            w = weights.data if isinstance(weights, Tensor) else np.asarray(weights, dtype=np.float64)
+            # One-shot evaluation: the primal form avoids the dual mode's
+            # K precomputation, which only pays off over a full inner loop.
+            return Tensor(np.asarray(FusedDecorrelation(feats, mode="primal").loss(w)))
         return pairwise_decorrelation_loss(feats, weights)
 
     def learn(
@@ -144,6 +177,22 @@ class SampleWeightLearner:
             raise ValueError("no local rows to optimise")
 
         local_init = np.ones(n_local) if init_local is None else np.asarray(init_local, dtype=np.float64)
+        if self.backend == "fused":
+            local, losses, initial_loss = self._learn_fused(z, local_init, fixed_weights, n_fixed, n_total)
+        else:
+            local, losses, initial_loss = self._learn_autograd(z, local_init, fixed_weights, n_fixed, n_total)
+
+        return WeightLearningResult(
+            weights=project_weights(local, ceiling=self.max_weight),
+            losses=losses,
+            initial_loss=initial_loss,
+            final_loss=losses[-1],
+        )
+
+    # ------------------------------------------------------------------
+    # Taped reference loop
+    # ------------------------------------------------------------------
+    def _learn_autograd(self, z, local_init, fixed_weights, n_fixed, n_total):
         local = Tensor(local_init.copy(), requires_grad=True)
         fixed = Tensor(np.asarray(fixed_weights, dtype=np.float64)) if n_fixed else None
         optimizer = Adam([local], lr=self.lr)
@@ -173,10 +222,41 @@ class SampleWeightLearner:
             optimizer.step()
             local.data = project_weights(local.data, ceiling=self.max_weight)
             losses.append(float(loss.data))
+        return local.data, losses, initial_loss
 
-        return WeightLearningResult(
-            weights=project_weights(local.data, ceiling=self.max_weight),
-            losses=losses,
-            initial_loss=initial_loss,
-            final_loss=losses[-1],
-        )
+    # ------------------------------------------------------------------
+    # Fused closed-form loop
+    # ------------------------------------------------------------------
+    def _learn_fused(self, z, local_init, fixed_weights, n_fixed, n_total):
+        """Same objective and update rule as the taped loop, in closed form.
+
+        The per-epoch chain is: normalise the raw weights to mean 1, get
+        loss and analytical gradient from the engine, add the l2-penalty
+        gradient, push both through the normalisation adjoint
+
+            d/d raw_j = (n/s) * (g_j - <raw, g>/s),   s = sum(raw),
+
+        take one in-place Adam step on the local slice, and re-project.
+        """
+        local = local_init.copy()
+        fixed = np.asarray(fixed_weights, dtype=np.float64) if n_fixed else None
+        optimizer = InPlaceAdam(len(local), lr=self.lr)
+
+        engine = FusedDecorrelation(self.rff(z))
+        losses: list[float] = []
+        initial_loss = None
+        for epoch in range(self.epochs):
+            if self.resample_rff and epoch > 0:
+                engine = FusedDecorrelation(self.rff(z))
+            raw = np.concatenate([fixed, local]) if fixed is not None else local
+            total = raw.sum()
+            weights = raw * (n_total / total)
+            loss, grad = engine.loss_and_grad(weights)
+            if initial_loss is None:
+                initial_loss = loss
+            grad += (2.0 * self.l2_penalty / n_total) * (weights - 1.0)
+            grad_raw = (grad - (raw @ grad) / total) * (n_total / total)
+            optimizer.step(local, grad_raw[n_fixed:])
+            local = project_weights(local, ceiling=self.max_weight)
+            losses.append(loss)
+        return local, losses, initial_loss

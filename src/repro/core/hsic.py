@@ -5,12 +5,24 @@ et al., 2005) used as the ground-truth dependence measure in tests; the
 training objective itself uses :func:`pairwise_decorrelation_loss`, the
 RFF-based Frobenius-norm analogue of Eqs. (3)/(5) which scales linearly
 with sample size.
+
+The taped loss is the *reference* implementation of the objective — the
+ground truth that the closed-form engine in :mod:`repro.core.fused` is
+verified against.  The reference path leans on the fused tape primitives of
+:mod:`repro.autograd.functional` where that does not obscure it:
+:func:`~repro.autograd.functional.weighted_gram` is the single-node form of
+the Eq. (5) cross-covariance and :func:`~repro.autograd.functional.masked_frobenius`
+collapses the masked norm, while the Gram chain of the pairwise loss itself
+stays op-by-op so every step remains independently grad-checkable.
 """
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
+from repro.autograd.functional import masked_frobenius, weighted_gram
 from repro.autograd.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -18,6 +30,7 @@ __all__ = [
     "weighted_cross_covariance",
     "pairwise_decorrelation_loss",
     "block_offdiagonal_mask",
+    "cached_block_offdiagonal_mask",
 ]
 
 
@@ -31,7 +44,10 @@ def hsic_gaussian(x: np.ndarray, y: np.ndarray, sigma: float = 1.0) -> float:
 
     ``HSIC = (n-1)^-2 * trace(K H L H)`` with Gaussian kernels; zero iff
     the variables are independent (for characteristic kernels, Prop. 1 of
-    the paper).
+    the paper).  Evaluated in the centred elementwise-sum form
+    ``sum((H K H) o L)`` — identical value (``H`` is idempotent and the
+    trace is cyclic) at ``O(n^2)`` cost instead of the ``O(n^3)`` matrix
+    products of the textbook expression.
     """
     x = np.asarray(x, dtype=np.float64).reshape(-1)
     y = np.asarray(y, dtype=np.float64).reshape(-1)
@@ -42,8 +58,8 @@ def hsic_gaussian(x: np.ndarray, y: np.ndarray, sigma: float = 1.0) -> float:
         raise ValueError("need at least two samples")
     k = _gaussian_gram(x, sigma)
     l = _gaussian_gram(y, sigma)
-    h = np.eye(n) - np.ones((n, n)) / n
-    return float(np.trace(k @ h @ l @ h) / (n - 1) ** 2)
+    kc = k - k.mean(axis=0, keepdims=True) - k.mean(axis=1, keepdims=True) + k.mean()
+    return float(np.vdot(kc, l) / (n - 1) ** 2)
 
 
 def weighted_cross_covariance(features_i, features_j, weights) -> Tensor:
@@ -60,17 +76,10 @@ def weighted_cross_covariance(features_i, features_j, weights) -> Tensor:
     Returns
     -------
     Tensor
-        The ``(Q, Q)`` matrix ``C^W_{Z_i, Z_j}``.
+        The ``(Q, Q)`` matrix ``C^W_{Z_i, Z_j}``, built as a single fused
+        :func:`~repro.autograd.functional.weighted_gram` node.
     """
-    fi = as_tensor(features_i)
-    fj = as_tensor(features_j)
-    w = as_tensor(weights)
-    n = fi.shape[0]
-    wi = fi * w.unsqueeze(1)
-    wj = fj * w.unsqueeze(1)
-    ai = wi - wi.mean(axis=0, keepdims=True)
-    aj = wj - wj.mean(axis=0, keepdims=True)
-    return ai.transpose() @ aj * (1.0 / (n - 1))
+    return weighted_gram(features_i, weights, features_j=as_tensor(features_j))
 
 
 def block_offdiagonal_mask(num_dims: int, q: int) -> np.ndarray:
@@ -85,14 +94,34 @@ def block_offdiagonal_mask(num_dims: int, q: int) -> np.ndarray:
     return mask
 
 
+@functools.lru_cache(maxsize=64)
+def cached_block_offdiagonal_mask(num_dims: int, q: int) -> np.ndarray:
+    """Read-only cached variant of :func:`block_offdiagonal_mask`.
+
+    ``(d, Q)`` is fixed across every batch of a training run, so both the
+    taped loss and the fused engine share one immutable mask instead of
+    rebuilding a ``(dQ, dQ)`` array per step.
+    """
+    mask = block_offdiagonal_mask(num_dims, q)
+    mask.setflags(write=False)
+    return mask
+
+
 def pairwise_decorrelation_loss(rff_features: np.ndarray, weights) -> Tensor:
     """Sum over all dimension pairs i<j of ``||C^W_{Z_i,Z_j}||_F^2`` (Eq. 7).
 
     Computed in one shot: flatten the ``(n, d, Q)`` random features to
     ``(n, d*Q)``, form the weighted-centred Gram matrix ``G`` and sum the
-    squared off-block entries (each unordered pair appears twice, hence
-    the factor 1/2).  Cost is ``O(n (dQ)^2)`` — linear in the sample size,
-    the scalability claim of Section 3.2.
+    squared off-block entries via
+    :func:`~repro.autograd.functional.masked_frobenius` (each unordered
+    pair appears twice, hence the built-in factor 1/2).  Cost is
+    ``O(n (dQ)^2)`` — linear in the sample size, the scalability claim of
+    Section 3.2.
+
+    The Gram chain is deliberately kept op-by-op on the tape: this
+    function is the *reference* objective that the closed-form engine in
+    :mod:`repro.core.fused` is held to, so every step stays an
+    independently grad-checked primitive rather than one opaque node.
     """
     feats = np.asarray(rff_features, dtype=np.float64)
     if feats.ndim != 3:
@@ -105,5 +134,4 @@ def pairwise_decorrelation_loss(rff_features: np.ndarray, weights) -> Tensor:
     weighted = flat * w.unsqueeze(1)
     centred = weighted - weighted.mean(axis=0, keepdims=True)
     gram = centred.transpose() @ centred * (1.0 / (n - 1))
-    masked = gram * Tensor(block_offdiagonal_mask(d, q))
-    return (masked * masked).sum() * 0.5
+    return masked_frobenius(gram, cached_block_offdiagonal_mask(d, q))

@@ -43,6 +43,18 @@ class TestHSIC:
         with pytest.raises(ValueError):
             hsic_gaussian(np.zeros(1), np.zeros(1))
 
+    def test_matches_textbook_trace_form(self, rng):
+        """The O(n^2) centred-sum evaluation equals trace(K H L H)/(n-1)^2."""
+        from repro.core.hsic import _gaussian_gram
+
+        for n, sigma in [(37, 1.0), (80, 0.5)]:
+            x, y = rng.normal(size=n), np.tanh(rng.normal(size=n))
+            k = _gaussian_gram(x, sigma)
+            l = _gaussian_gram(y, sigma)
+            h = np.eye(n) - np.ones((n, n)) / n
+            reference = float(np.trace(k @ h @ l @ h) / (n - 1) ** 2)
+            assert hsic_gaussian(x, y, sigma) == pytest.approx(reference, abs=1e-12)
+
 
 class TestCrossCovariance:
     def test_shape(self, rng):

@@ -77,6 +77,31 @@ class TestWeightProjectionProperties:
         order_out = np.argsort(out, kind="stable")
         np.testing.assert_array_equal(order_in, order_out)
 
+    @given(
+        weights=arrays(
+            np.float64, shape=st.integers(2, 30), elements=st.floats(1.0, 100, allow_nan=False)
+        ),
+        ceiling=st.floats(1.0, 50.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ceiling_respected(self, weights, ceiling):
+        """With clipped mass >= n the rescale shrinks, so the cap survives it."""
+        out = project_weights(weights, ceiling=ceiling)
+        assert out.max() <= ceiling + 1e-9
+        np.testing.assert_allclose(out.mean(), 1.0, atol=1e-9)
+        # Idempotent under the same ceiling once the constraint set is hit.
+        np.testing.assert_allclose(project_weights(out, ceiling=ceiling), out, atol=1e-9)
+
+    @given(
+        weights=arrays(
+            np.float64, shape=st.integers(2, 30), elements=st.floats(-100, 0.0, allow_nan=False)
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_degenerate_input_resets_to_uniform(self, weights):
+        """All-nonpositive weights clip to zero mass and reset to uniform."""
+        np.testing.assert_allclose(project_weights(weights), 1.0)
+
 
 class TestDecorrelationProperties:
     @given(
@@ -97,6 +122,27 @@ class TestDecorrelationProperties:
         for i in range(d):
             block = mask[i * q : (i + 1) * q, i * q : (i + 1) * q]
             np.testing.assert_array_equal(block, 0.0)
+
+
+class TestFusedParityProperties:
+    """The closed-form engine tracks the taped loss over random instances."""
+
+    @given(
+        n=st.integers(4, 24), d=st.integers(2, 5), q=st.integers(1, 3), seed=st.integers(0, 10_000)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fused_loss_and_grad_match_tape(self, n, d, q, seed):
+        from repro.core.fused import FusedDecorrelation
+
+        rng = np.random.default_rng(seed)
+        feats = rng.normal(size=(n, d, q))
+        w = Tensor(rng.uniform(0.2, 2.0, size=n), requires_grad=True)
+        ref = pairwise_decorrelation_loss(feats, w)
+        ref.backward()
+        for mode in ("primal", "dual"):
+            loss, grad = FusedDecorrelation(feats, mode=mode).loss_and_grad(w.data)
+            np.testing.assert_allclose(loss, float(ref.data), atol=1e-8)
+            np.testing.assert_allclose(grad, w.grad, atol=1e-8)
 
 
 class TestGraphProperties:
