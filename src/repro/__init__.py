@@ -13,8 +13,13 @@ from-scratch numpy stack:
   weight estimator, and the OOD-GNN model/trainer.
 * :mod:`repro.datasets` — synthetic substitutes for the paper's 14
   benchmarks with their distribution shifts.
-* :mod:`repro.training` — metrics and training harness.
+* :mod:`repro.training` — metrics and training harness, including the
+  batched multi-seed engine (``Trainer.fit_many``).
 * :mod:`repro.bench` — the experiment protocol behind ``benchmarks/``.
+
+``README.md`` is the user-facing tour; ``docs/ARCHITECTURE.md`` documents
+the package layering, the closed-form reweighting mathematics and the
+multi-seed engine design.
 
 Quickstart::
 

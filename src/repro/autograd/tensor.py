@@ -551,7 +551,15 @@ class Tensor:
 
         def grad_fn(g):
             full = np.zeros(shape, dtype=np.float64)
-            np.add.at(full, index, g)
+            if isinstance(index, np.ndarray) and index.ndim == 1 and index.dtype.kind in "iu":
+                # Row gather (the message-passing hot path): route through
+                # the sparse-matmul/bincount scatter, much faster than
+                # ufunc.at on multi-dimensional gradients.
+                from repro.autograd.functional import scatter_add_rows
+
+                scatter_add_rows(full, index, g)
+            else:
+                np.add.at(full, index, g)
             return full
 
         return self._make(out_data, [(self, grad_fn)])

@@ -1,6 +1,12 @@
 """Benchmark support: shared experiment protocol and table formatting."""
 
-from repro.bench.runner import ExperimentProtocol, run_method, run_method_multi_seed, MethodResult
+from repro.bench.runner import (
+    ExperimentProtocol,
+    run_method,
+    run_method_multi_seed,
+    MethodResult,
+    BATCHED_SEED_METHODS,
+)
 from repro.bench.tables import format_table, format_series
 
 __all__ = [
@@ -8,6 +14,7 @@ __all__ = [
     "run_method",
     "run_method_multi_seed",
     "MethodResult",
+    "BATCHED_SEED_METHODS",
     "format_table",
     "format_series",
 ]

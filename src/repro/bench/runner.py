@@ -5,6 +5,13 @@ train on the training split, select the best checkpoint by validation
 metric (the validation split is drawn from the training distribution),
 evaluate once on the OOD test split(s), and report mean ± std over
 repeated seeds.
+
+:func:`run_method_multi_seed` optionally runs all seeds as one batched
+job (``batched=True``, the multi-seed engine of
+``docs/ARCHITECTURE.md``): the dataset is fixed at the first seed and
+only model initialisation varies, so K encoder forwards/backwards
+collapse into one vectorised pass.  Supported for the GIN/GCN family and
+``ood-gnn``; other methods fall back to sequential runs.
 """
 
 from __future__ import annotations
@@ -15,10 +22,21 @@ import numpy as np
 
 from repro.datasets.base import DatasetSplits
 from repro.encoders.models import build_model, compute_pna_degree_scale
+from repro.nn.layers import stack_seed_modules
+from repro.training.loop import evaluate_model_per_seed
 from repro.training.trainer import Trainer, TrainerConfig
 from repro.core.ood_gnn import OODGNN, OODGNNConfig, OODGNNTrainer
 
-__all__ = ["ExperimentProtocol", "MethodResult", "run_method", "run_method_multi_seed"]
+__all__ = [
+    "ExperimentProtocol",
+    "MethodResult",
+    "run_method",
+    "run_method_multi_seed",
+    "BATCHED_SEED_METHODS",
+]
+
+# Methods with seed-stacked variants (see repro.nn.layers.stack_seed_modules).
+BATCHED_SEED_METHODS = ("gcn", "gin", "ood-gnn")
 
 
 @dataclass
@@ -106,19 +124,33 @@ def run_method_multi_seed(
     dataset_factory,
     seeds,
     protocol: ExperimentProtocol,
+    batched: bool = False,
 ) -> MethodResult:
     """Repeat :func:`run_method` over seeds with fresh datasets per seed.
 
     ``dataset_factory(seed)`` regenerates the dataset so that both data
     and initialisation randomness enter the reported std, as in the
     paper's "10 repeated experiments".
+
+    With ``batched=True`` all seeds train as one vectorised job instead:
+    the dataset is fixed at ``dataset_factory(seeds[0])`` and only the
+    model initialisation varies across seeds (the std then reports
+    initialisation noise, not data noise).  Methods without a
+    seed-stacked variant (see :data:`BATCHED_SEED_METHODS`) fall back to
+    the sequential path.
     """
+    if batched and method in BATCHED_SEED_METHODS:
+        return _run_method_multi_seed_batched(method, dataset_factory, tuple(seeds), protocol)
     trains, tests = [], []
     for seed in seeds:
         dataset = dataset_factory(seed)
         train_metric, test_metrics = run_method(method, dataset, seed, protocol)
         trains.append(train_metric)
         tests.append(test_metrics)
+    return _collect(method, trains, tests)
+
+
+def _collect(method: str, trains: list, tests: list) -> MethodResult:
     split_names = tests[0].keys()
     return MethodResult(
         method=method,
@@ -127,3 +159,68 @@ def run_method_multi_seed(
         test_mean={s: float(np.mean([t[s] for t in tests])) for s in split_names},
         test_std={s: float(np.std([t[s] for t in tests])) for s in split_names},
     )
+
+
+def _run_method_multi_seed_batched(
+    method: str,
+    dataset_factory,
+    seeds: tuple,
+    protocol: ExperimentProtocol,
+) -> MethodResult:
+    """All seeds of one method as a single seed-stacked training job."""
+    dataset = dataset_factory(seeds[0])
+    info = dataset.info
+    train_rng = np.random.default_rng((seeds[0] + 1) * 104729)
+    eval_every = protocol.eval_every
+    if method == "ood-gnn":
+        cfg = OODGNNConfig(
+            hidden_dim=protocol.hidden_dim,
+            num_layers=protocol.num_layers,
+            epochs=protocol.epochs,
+            batch_size=protocol.batch_size,
+            lr=protocol.lr,
+            weight_decay=protocol.weight_decay,
+            **protocol.ood_overrides,
+        )
+        trainer = OODGNNTrainer(None, info.task_type, train_rng, metric=info.metric, config=cfg)
+        result = trainer.fit_many(
+            dataset.train,
+            dataset.valid,
+            eval_every=eval_every,
+            seeds=seeds,
+            model_factory=lambda seed: OODGNN(
+                info.feature_dim, info.model_out_dim, np.random.default_rng((seed + 1) * 7919), config=cfg
+            ),
+        )
+    else:
+        tcfg = TrainerConfig(
+            epochs=protocol.epochs,
+            batch_size=protocol.batch_size,
+            lr=protocol.lr,
+            weight_decay=protocol.weight_decay,
+            eval_every=eval_every,
+        )
+        trainer = Trainer(None, info.task_type, tcfg, train_rng, metric=info.metric)
+        result = trainer.fit_many(
+            dataset.train,
+            dataset.valid if eval_every else None,
+            seeds=seeds,
+            model_factory=lambda seed: build_model(
+                method,
+                info.feature_dim,
+                info.model_out_dim,
+                np.random.default_rng((seed + 1) * 7919),
+                hidden_dim=protocol.hidden_dim,
+                num_layers=protocol.num_layers,
+            ),
+        )
+    # Re-stack the trained per-seed models (cheap parameter copies) so the
+    # final train/test evaluations also run as one K-wide forward sweep.
+    stacked = stack_seed_modules(result.models)
+    trains = evaluate_model_per_seed(stacked, dataset.train, info.metric)
+    tests_per_split = {
+        name: evaluate_model_per_seed(stacked, split, info.metric)
+        for name, split in dataset.tests.items()
+    }
+    tests = [{name: scores[k] for name, scores in tests_per_split.items()} for k in range(len(seeds))]
+    return _collect(method, trains, tests)

@@ -16,7 +16,11 @@ This package implements the paper's contribution:
 * :mod:`repro.core.global_local` — the global-local weight estimator with
   momentum memory groups (Eqs. (8) and (9)).
 * :mod:`repro.core.ood_gnn` — the OOD-GNN model and the Algorithm-1
-  training procedure.
+  training procedure (single-seed ``fit`` and the batched multi-seed
+  ``fit_many``).
+
+The closed-form mathematics behind the fused backend and the design of
+the multi-seed engine are documented in ``docs/ARCHITECTURE.md``.
 """
 
 from repro.core.rff import RandomFourierFeatures

@@ -119,6 +119,22 @@ class SampleWeightLearner:
         self.standardise = standardise
         self.max_weight = max_weight
         self.backend = backend
+        self._engine: FusedDecorrelation | None = None
+
+    def _fused_engine(self, feats: np.ndarray) -> FusedDecorrelation:
+        """Fused engine for ``feats``, reusing cached buffers when possible.
+
+        Consecutive batches of the same shape (the common case: the
+        trainer drops smaller trailing batches) and the ``resample_rff``
+        inner-epoch path hit :meth:`FusedDecorrelation.refresh`, which
+        recomputes only the feature-dependent Gram and keeps the
+        feature-independent scratch/mask state.
+        """
+        engine = self._engine
+        if engine is not None and feats.shape == (engine.n, engine.num_dims, engine.q):
+            return engine.refresh(feats)
+        self._engine = FusedDecorrelation(feats)
+        return self._engine
 
     def _prepare(self, representations: np.ndarray) -> np.ndarray:
         z = np.asarray(representations, dtype=np.float64)
@@ -242,12 +258,12 @@ class SampleWeightLearner:
         fixed = np.asarray(fixed_weights, dtype=np.float64) if n_fixed else None
         optimizer = InPlaceAdam(len(local), lr=self.lr)
 
-        engine = FusedDecorrelation(self.rff(z))
+        engine = self._fused_engine(self.rff(z))
         losses: list[float] = []
         initial_loss = None
         for epoch in range(self.epochs):
             if self.resample_rff and epoch > 0:
-                engine = FusedDecorrelation(self.rff(z))
+                engine = self._fused_engine(self.rff(z))
             raw = np.concatenate([fixed, local]) if fixed is not None else local
             total = raw.sum()
             weights = raw * (n_total / total)

@@ -36,7 +36,8 @@ centred.  Two evaluation strategies are implemented:
 
 The engine is exercised against the taped reference by
 ``tests/test_fused_decorrelation.py`` (parity to 1e-8 plus a
-finite-difference check of the analytical gradient).
+finite-difference check of the analytical gradient).  The derivation is
+also written up in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -97,6 +98,27 @@ class FusedDecorrelation:
             self._bd = np.empty((d, q, q))
         else:
             self._mask = cached_block_offdiagonal_mask(d, q)
+
+    def refresh(self, features: np.ndarray) -> "FusedDecorrelation":
+        """Swap in fresh same-shape features, reusing every cached buffer.
+
+        Only the feature-dependent state is recomputed — in dual mode the
+        sample-space Gram ``K = X X^T`` (written into the existing buffer).
+        The scratch arrays, mask and mode decision are feature-independent
+        and survive; this is what makes ``resample_rff=True`` (fresh random
+        features every inner epoch) pay one Gram matmul instead of a full
+        engine rebuild per epoch.  Returns ``self`` for chaining.
+        """
+        feats = np.ascontiguousarray(np.asarray(features, dtype=np.float64))
+        if feats.shape != (self.n, self.num_dims, self.q):
+            raise ValueError(
+                f"refresh features shape {feats.shape} != engine shape {(self.n, self.num_dims, self.q)}"
+            )
+        self.x3 = feats
+        self.x = feats.reshape(self.n, self.p)
+        if self.mode == "dual":
+            np.matmul(self.x, self.x.T, out=self._k)
+        return self
 
     # ------------------------------------------------------------------
     # Primal (feature-space) evaluation

@@ -13,21 +13,25 @@ with a two-layer MLP classifier.  Training alternates:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.graph.data import Graph
-from repro.nn.losses import weighted_prediction_loss
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.layers import stack_seed_modules
+from repro.nn.losses import weighted_prediction_loss, seed_prediction_loss
+from repro.nn.optim import Adam, clip_grad_norm, clip_grad_norm_per_seed
 from repro.encoders.base import StackedEncoder, GraphEncoder
 from repro.encoders.conv import GINConv
 from repro.encoders.models import GraphClassifier
 from repro.core.rff import RandomFourierFeatures
 from repro.core.decorrelation import SampleWeightLearner
 from repro.core.global_local import GlobalLocalWeightEstimator
-from repro.training.loop import iterate_minibatches, evaluate_model
+from repro.training.loop import iterate_minibatches, evaluate_model, evaluate_model_per_seed
+from repro.training.seed import seeded_rng
+from repro.training.trainer import MultiSeedResult
 
 __all__ = ["OODGNN", "OODGNNConfig", "OODGNNTrainer", "OODGNNHistory"]
 
@@ -147,19 +151,28 @@ class OODGNNTrainer:
 
     def __init__(
         self,
-        model: OODGNN,
+        model: OODGNN | None,
         task_type: str,
         rng: np.random.Generator,
         metric: str = "accuracy",
         config: OODGNNConfig | None = None,
     ):
+        if model is None and config is None:
+            raise ValueError("need an explicit config when no model is given")
         self.model = model
         self.task_type = task_type
         self.rng = rng
         self.metric = metric
         self.config = config or model.config
         cfg = self.config
-        self.optimizer = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        self.optimizer = (
+            Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+            if model is not None
+            else None
+        )
+        # NOTE: this integers() draw advances the trainer rng; the batched
+        # multi-seed path replays it so its shuffle stream stays aligned
+        # with sequential trainers built from rng copies.
         rff = RandomFourierFeatures(
             num_functions=cfg.rff_functions,
             fraction=cfg.rff_fraction,
@@ -238,6 +251,148 @@ class OODGNNTrainer:
         if history.best_state is not None:
             self.model.load_state_dict(history.best_state)
         return history
+
+    # ------------------------------------------------------------------
+    # Batched multi-seed training (see docs/ARCHITECTURE.md)
+    # ------------------------------------------------------------------
+    def _seed_components(self, seed: int):
+        """Per-seed weight learner + global memory, seeded independently.
+
+        Both the batched and the sequential-parity paths of
+        :meth:`fit_many` derive the per-seed RFF streams from
+        ``seeded_rng(seed, "multiseed-rff")`` so their inner loops see the
+        same random features.
+        """
+        cfg = self.config
+        rff = RandomFourierFeatures(
+            num_functions=cfg.rff_functions,
+            fraction=cfg.rff_fraction,
+            linear=cfg.linear_decorrelation,
+            rng=seeded_rng(seed, "multiseed-rff"),
+        )
+        learner = SampleWeightLearner(
+            rff,
+            epochs=cfg.reweight_epochs,
+            lr=cfg.weight_lr,
+            l2_penalty=cfg.weight_l2,
+            max_weight=cfg.max_weight,
+            backend=cfg.reweight_backend,
+        )
+        estimator = GlobalLocalWeightEstimator(cfg.global_groups, cfg.momentum)
+        return learner, estimator
+
+    def fit_many(
+        self,
+        train_graphs: list[Graph],
+        valid_graphs: list[Graph] | None = None,
+        eval_every: int = 0,
+        *,
+        seeds,
+        model_factory,
+        batched: bool = True,
+    ) -> MultiSeedResult:
+        """Run Algorithm 1 for K seeds over a shared mini-batch stream.
+
+        With ``batched=True`` the K encoders/classifiers train as one
+        seed-stacked job: line 3's representations and line 9's weighted
+        back-propagation are evaluated once over ``(K, |B|, d)`` stacks,
+        while lines 4-8 run one (already fused, closed-form) inner weight
+        loop per seed on that seed's detached representations — each with
+        its own per-batch Gram precompute and momentum memory.
+        ``batched=False`` is the sequential parity reference: K plain
+        :meth:`fit` runs whose shuffle streams and per-seed RFF streams
+        are copied from the same sources the batched path uses.
+        """
+        seeds = tuple(seeds)
+        if not seeds:
+            raise ValueError("need at least one seed")
+        models = [model_factory(seed) for seed in seeds]
+        base_rng = copy.deepcopy(self.rng)
+        if not batched:
+            histories = []
+            for seed, model in zip(seeds, models):
+                sub = OODGNNTrainer(
+                    model, self.task_type, copy.deepcopy(base_rng), metric=self.metric, config=self.config
+                )
+                sub.weight_learner, sub.estimator = self._seed_components(seed)
+                histories.append(sub.fit(train_graphs, valid_graphs, eval_every=eval_every))
+            return MultiSeedResult(seeds=seeds, models=models, histories=histories)
+        return self._fit_many_batched(
+            models, seeds, train_graphs, valid_graphs, eval_every, copy.deepcopy(base_rng)
+        )
+
+    def _fit_many_batched(self, models, seeds, train_graphs, valid_graphs, eval_every, rng) -> MultiSeedResult:
+        cfg = self.config
+        stacked = stack_seed_modules(models)
+        num_seeds = len(models)
+        # Replay the rff-seeding draw the sequential OODGNNTrainer.__init__
+        # makes, so both paths shuffle mini-batches from the same stream.
+        rng.integers(2**31)
+        components = [self._seed_components(seed) for seed in seeds]
+        params = stacked.parameters()
+        optimizer = Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        histories = [OODGNNHistory() for _ in models]
+        higher_is_better = self.metric != "rmse"
+        warmup_epochs = int(round(cfg.warmup_fraction * cfg.epochs))
+        for epoch in range(cfg.epochs):
+            epoch_losses, epoch_decorr, epoch_weights = [], [], []
+            last_epoch = epoch == cfg.epochs - 1
+            warming_up = epoch < warmup_epochs
+            for batch in iterate_minibatches(train_graphs, cfg.batch_size, rng=rng, drop_last=True):
+                z = stacked.representations(batch)                       # (K, |B|, d)
+                weights = np.empty((num_seeds, batch.num_graphs))
+                decorr = np.empty(num_seeds)
+                for k, (learner, estimator) in enumerate(components):
+                    z_k = z.data[k]
+                    if warming_up:
+                        w_k = np.ones(batch.num_graphs)
+                        decorr[k] = float(learner.decorrelation_loss(z_k, Tensor(w_k)).data)
+                    else:
+                        z_hat, w_global = estimator.concat(z_k, np.ones(len(z_k)))
+                        result = learner.learn(z_hat, fixed_weights=w_global)
+                        w_k = result.weights
+                        decorr[k] = result.final_loss
+                    weights[k] = w_k
+                logits = stacked.head(z)
+                optimizer.zero_grad()
+                total, per_seed = seed_prediction_loss(
+                    logits, batch.y, self.task_type, weights=Tensor(weights)
+                )
+                total.backward()
+                clip_grad_norm_per_seed(params, cfg.grad_clip)
+                optimizer.step()
+                for k, (_learner, estimator) in enumerate(components):
+                    estimator.update(z.data[k], weights[k])
+                epoch_losses.append(per_seed)
+                epoch_decorr.append(decorr)
+                if last_epoch:
+                    epoch_weights.append(weights)
+            loss_means = np.mean(epoch_losses, axis=0)
+            decorr_means = np.mean(epoch_decorr, axis=0)
+            for k, history in enumerate(histories):
+                history.train_loss.append(float(loss_means[k]))
+                history.decorrelation_loss.append(float(decorr_means[k]))
+            if last_epoch and epoch_weights:
+                for k, history in enumerate(histories):
+                    history.weight_snapshots = [w[k] for w in epoch_weights]
+                    history.final_weights = np.concatenate(history.weight_snapshots)
+            if valid_graphs and eval_every and (epoch + 1) % eval_every == 0:
+                scores = evaluate_model_per_seed(stacked, valid_graphs, self.metric)
+                for k, history in enumerate(histories):
+                    history.valid_metric.append(scores[k])
+                    improved = (
+                        history.best_metric is None
+                        or (higher_is_better and scores[k] > history.best_metric)
+                        or (not higher_is_better and scores[k] < history.best_metric)
+                    )
+                    if improved:
+                        history.best_metric = scores[k]
+                        history.best_state = stacked.seed_state_dict(k)
+        for k, (model, history) in enumerate(zip(models, histories)):
+            stacked.sync_into(k, model)
+            if history.best_state is not None:
+                model.load_state_dict(history.best_state)
+        return MultiSeedResult(seeds=seeds, models=models, histories=histories)
 
     def evaluate(self, graphs: list[Graph], metric: str | None = None) -> float:
         """Metric of the trained model (testing stage uses Phi*, R* as-is)."""

@@ -8,16 +8,30 @@ paper) on top.  The zoo covers all baselines of Tables 2-4:
 GCN, GIN, GCN-virtual, GIN-virtual, FactorGCN, PNA, TopKPool, SAGPool.
 """
 
-from repro.encoders.conv import GCNConv, GINConv, PNAConv, FactorGCNConv
+from repro.encoders.conv import GCNConv, GINConv, PNAConv, FactorGCNConv, SeedGCNConv, SeedGINConv
 from repro.encoders.pooling import TopKPooling, SAGPooling, global_sum_pool, global_mean_pool, global_max_pool
-from repro.encoders.base import GraphEncoder, StackedEncoder, VirtualNodeEncoder, HierarchicalPoolEncoder
-from repro.encoders.models import GraphClassifier, build_model, available_models, compute_pna_degree_scale
+from repro.encoders.base import (
+    GraphEncoder,
+    StackedEncoder,
+    VirtualNodeEncoder,
+    HierarchicalPoolEncoder,
+    SeedStackedEncoder,
+)
+from repro.encoders.models import (
+    GraphClassifier,
+    SeedGraphClassifier,
+    build_model,
+    available_models,
+    compute_pna_degree_scale,
+)
 
 __all__ = [
     "GCNConv",
     "GINConv",
     "PNAConv",
     "FactorGCNConv",
+    "SeedGCNConv",
+    "SeedGINConv",
     "TopKPooling",
     "SAGPooling",
     "global_sum_pool",
@@ -27,7 +41,9 @@ __all__ = [
     "StackedEncoder",
     "VirtualNodeEncoder",
     "HierarchicalPoolEncoder",
+    "SeedStackedEncoder",
     "GraphClassifier",
+    "SeedGraphClassifier",
     "build_model",
     "available_models",
     "compute_pna_degree_scale",

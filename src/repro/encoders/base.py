@@ -19,14 +19,20 @@ from repro.autograd import functional as F
 from repro.graph.data import GraphBatch
 from repro.graph.segment import segment_sum
 from repro.nn.module import Module, ModuleList
-from repro.nn.layers import Linear, MLP, BatchNorm1d, Dropout
+from repro.nn.layers import Linear, MLP, BatchNorm1d, Dropout, SeedLinear, register_seed_stacker, stack_seed_modules
 from repro.encoders.pooling import (
     global_sum_pool,
     global_mean_pool,
     global_max_pool,
 )
 
-__all__ = ["GraphEncoder", "StackedEncoder", "VirtualNodeEncoder", "HierarchicalPoolEncoder"]
+__all__ = [
+    "GraphEncoder",
+    "StackedEncoder",
+    "VirtualNodeEncoder",
+    "HierarchicalPoolEncoder",
+    "SeedStackedEncoder",
+]
 
 _READOUTS = {
     "sum": global_sum_pool,
@@ -103,6 +109,81 @@ class StackedEncoder(GraphEncoder):
     def forward(self, batch: GraphBatch) -> Tensor:
         x = self.node_embeddings(batch)
         return self._readout(x, batch.batch, batch.num_graphs)
+
+
+_SEED_READOUTS = {
+    "sum": F.seed_segment_sum,
+    "mean": F.seed_segment_mean,
+}
+
+
+class SeedStackedEncoder(GraphEncoder):
+    """Seed-stacked :class:`StackedEncoder`: K encoders in one forward pass.
+
+    Node activations use the seed-leading ``(K, n, h)`` layout of the
+    multi-seed engine (``docs/ARCHITECTURE.md``): per-seed slices stay
+    contiguous, so every linear map is one batched GEMM and every
+    gather/scatter runs K fast 2-D passes.  Built from K per-seed encoders
+    by :meth:`from_encoders`, with bitwise parameter copies.
+    """
+
+    def __init__(self, embed, convs, norms, dropout, readout_name: str, out_dim: int, num_seeds: int):
+        super().__init__()
+        self.embed = embed
+        self.convs = convs
+        self.norms = norms
+        self.dropout = dropout
+        if readout_name not in _SEED_READOUTS:
+            raise TypeError(
+                f"no seed-stacked readout for {readout_name!r}; supported: {sorted(_SEED_READOUTS)}"
+            )
+        self.readout_name = readout_name
+        self._readout = _SEED_READOUTS[readout_name]
+        self.out_dim = out_dim
+        self.num_seeds = num_seeds
+
+    @classmethod
+    def from_encoders(cls, encoders: list["StackedEncoder"]) -> "SeedStackedEncoder":
+        template = encoders[0]
+        readout_names = {name for name, fn in _READOUTS.items() if fn is template._readout}
+        embed = SeedLinear.from_layers([e.embed for e in encoders])
+        convs = ModuleList(
+            [stack_seed_modules([e.convs[i] for e in encoders]) for i in range(len(template.convs))]
+        )
+        norms = (
+            ModuleList(
+                [stack_seed_modules([e.norms[i] for e in encoders]) for i in range(len(template.norms))]
+            )
+            if template.norms is not None
+            else None
+        )
+        return cls(
+            embed,
+            convs,
+            norms,
+            template.dropout,
+            next(iter(readout_names)),
+            template.out_dim,
+            len(encoders),
+        )
+
+    def node_embeddings(self, batch: GraphBatch) -> Tensor:
+        x = self.embed(Tensor(batch.x))  # (K, total_nodes, h)
+        for i, conv in enumerate(self.convs):
+            x = conv(x, batch.edge_index, batch.num_nodes)
+            if self.norms is not None:
+                x = self.norms[i](x)
+            x = x.relu()
+            if self.dropout is not None:
+                x = self.dropout(x)
+        return x
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        x = self.node_embeddings(batch)
+        return self._readout(x, batch.batch, batch.num_graphs)
+
+
+register_seed_stacker(StackedEncoder)(SeedStackedEncoder.from_encoders)
 
 
 class VirtualNodeEncoder(GraphEncoder):

@@ -16,15 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.autograd import functional as F
 from repro.graph.segment import segment_sum, segment_mean, segment_max
 from repro.graph.utils import add_self_loops, gcn_norm_coefficients, degrees
 from repro.nn.module import Module, Parameter
-from repro.nn.layers import Linear, MLP
+from repro.nn.layers import Linear, MLP, SeedLinear, SeedMLP, register_seed_stacker
 from repro.nn import init
 
-__all__ = ["GCNConv", "GINConv", "PNAConv", "FactorGCNConv"]
+__all__ = ["GCNConv", "GINConv", "PNAConv", "FactorGCNConv", "SeedGCNConv", "SeedGINConv"]
 
 
 class GCNConv(Module):
@@ -64,6 +64,91 @@ class GINConv(Module):
         else:
             combined = x + aggregated
         return self.mlp(combined)
+
+
+class SeedGCNConv(Module):
+    """Seed-stacked :class:`GCNConv` over ``(K, n, h)`` node activations.
+
+    The connectivity (and hence the normalisation coefficients) is shared
+    by every seed; only the linear map is per-seed.  Part of the batched
+    multi-seed engine (``docs/ARCHITECTURE.md``).
+    """
+
+    def __init__(self, linear: SeedLinear):
+        super().__init__()
+        self.linear = linear
+
+    @classmethod
+    def from_layers(cls, convs: list[GCNConv]) -> "SeedGCNConv":
+        return cls(SeedLinear.from_layers([c.linear for c in convs]))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        looped = add_self_loops(edge_index, num_nodes)
+        norm = gcn_norm_coefficients(looped, num_nodes)
+        h = self.linear(x)
+        src, dst = looped
+        messages = F.seed_gather(h, src) * Tensor(norm[None, :, None])
+        return F.seed_segment_sum(messages, dst, num_nodes)
+
+
+class SeedGINConv(Module):
+    """Seed-stacked :class:`GINConv`: shared edges, per-seed MLP and eps.
+
+    ``eps`` is ``(K, 1)`` so each seed's scalar broadcasts over its own
+    slice of the ``(K, n, h)`` activations.
+    """
+
+    def __init__(self, mlp: SeedMLP, eps: np.ndarray | None):
+        super().__init__()
+        self.mlp = mlp
+        self.eps = Parameter(eps, name="eps") if eps is not None else None
+
+    @classmethod
+    def from_layers(cls, convs: list[GINConv]) -> "SeedGINConv":
+        mlp = SeedMLP.from_layers([c.mlp for c in convs])
+        has_eps = convs[0].eps is not None
+        eps = np.stack([c.eps.data for c in convs]) if has_eps else None
+        return cls(mlp, eps)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        src, dst = edge_index if edge_index.size else (np.zeros(0, dtype=np.int64),) * 2
+        if edge_index.size:
+            aggregated = F.seed_segment_sum(F.seed_gather(x, src), dst, num_nodes)
+        else:
+            aggregated = x * 0.0
+        if self.eps is not None:
+            combined = _seed_eps_combine(x, self.eps, aggregated)
+        else:
+            combined = x + aggregated
+        return self.mlp(combined)
+
+
+def _seed_eps_combine(x: Tensor, eps: Tensor, aggregated: Tensor) -> Tensor:
+    """``x * (eps + 1) + aggregated`` with per-seed ``(K, 1)`` eps, fused.
+
+    One tape node instead of three, and the eps adjoint reduces the
+    ``(K, n, h)`` product over the sample axis first and the feature axis
+    second — the association the per-seed broadcast adjoint uses — so the
+    batched run stays bitwise equal to K sequential :class:`GINConv` runs.
+    """
+    xd, ed, ad = x.data, eps.data, aggregated.data
+    out_data = xd * (ed + 1.0)[:, :, None] + ad
+    tracked = [t for t in (x, eps, aggregated) if t.requires_grad or t._parents]
+    if not (is_grad_enabled() and tracked):
+        return Tensor(out_data)
+    scale = (ed + 1.0)[:, :, None]
+    return Tensor._make(
+        out_data,
+        [
+            (x, lambda g: g * scale),
+            (eps, lambda g: (g * xd).sum(axis=1).sum(axis=1, keepdims=True)),
+            (aggregated, lambda g: g),
+        ],
+    )
+
+
+register_seed_stacker(GCNConv)(SeedGCNConv.from_layers)
+register_seed_stacker(GINConv)(SeedGINConv.from_layers)
 
 
 class PNAConv(Module):

@@ -2,13 +2,21 @@
 
 Weight matrices use the ``(in_features, out_features)`` convention so the
 forward pass is ``x @ W + b``.
+
+The ``Seed*`` variants back the batched multi-seed training engine (see
+``docs/ARCHITECTURE.md``): each holds the parameters of K independently
+initialised copies of a layer stacked along a leading seed axis and
+evaluates all K in one vectorised pass over ``(K, n, h)`` activations.
+:func:`stack_seed_modules` converts a list of per-seed modules into the
+matching stacked module via a type-dispatched registry that other layers
+(e.g. the convolutions in :mod:`repro.encoders.conv`) extend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
 from repro.autograd import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter, Sequential
@@ -25,6 +33,11 @@ __all__ = [
     "Tanh",
     "Sigmoid",
     "LeakyReLU",
+    "SeedLinear",
+    "SeedBatchNorm1d",
+    "SeedMLP",
+    "register_seed_stacker",
+    "stack_seed_modules",
 ]
 
 _ACTIVATIONS = {}
@@ -110,8 +123,48 @@ class Dropout(Module):
         return F.dropout(as_tensor(x), self.p, self.training, self.rng)
 
 
+def _bn_train_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float, axis: int = 0):
+    """Training-mode batch-norm forward over the sample axis ``axis``.
+
+    ``gamma``/``beta`` must already broadcast against ``x`` (plain layer:
+    ``(h,)`` vs ``(n, h)``; seed-stacked: ``(K, 1, h)`` vs ``(K, n, h)``).
+    Returns the output plus the intermediates the analytical backward
+    needs; statistics keep their reduced axis so one implementation
+    serves both layouts.  The arithmetic matches the op-by-op expression
+    ``(x - mean) / sqrt(var + eps) * gamma + beta`` exactly (same
+    elementwise operations in the same per-slice order), so fused,
+    per-op, and seed-stacked evaluations agree bitwise.
+    """
+    mean = x.mean(axis=axis, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=axis, keepdims=True)
+    std = np.sqrt(var + eps)
+    xhat = centered / std
+    out = xhat * gamma + beta
+    return out, mean, var, centered, std, xhat
+
+
+def _bn_backward_x(
+    g: np.ndarray, gamma: np.ndarray, centered: np.ndarray, std: np.ndarray, axis: int = 0
+) -> np.ndarray:
+    """Input gradient of training-mode batch norm (population statistics)."""
+    n = g.shape[axis]
+    g_xhat = g * gamma
+    g_centered = g_xhat / std
+    g_var = (g_xhat * centered).sum(axis=axis, keepdims=True) * (-0.5) / (std * std * std)
+    g_centered += centered * ((2.0 / n) * g_var)
+    return g_centered - g_centered.mean(axis=axis, keepdims=True)
+
+
 class BatchNorm1d(Module):
-    """Batch normalisation over the leading axis with running statistics."""
+    """Batch normalisation over the leading axis with running statistics.
+
+    The training-mode forward/backward is a single fused tape node (see
+    :func:`_bn_train_forward`): one pass each for the statistics and the
+    normalisation instead of the ~10-node op-by-op chain — the batch-norm
+    stack was the dominant non-GEMM cost of both the per-seed and the
+    batched multi-seed training paths.
+    """
 
     def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
         super().__init__()
@@ -125,16 +178,29 @@ class BatchNorm1d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
-        if self.training and x.shape[0] > 1:
-            mean = x.mean(axis=0)
-            var = x.var(axis=0)
-            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean.data
-            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var.data
-        else:
+        if not (self.training and x.shape[0] > 1):
             mean = Tensor(self.running_mean)
             var = Tensor(self.running_var)
-        normalised = (x - mean) / (var + self.eps).sqrt()
-        return normalised * self.gamma + self.beta
+            normalised = (x - mean) / (var + self.eps).sqrt()
+            return normalised * self.gamma + self.beta
+        gamma, beta = self.gamma, self.beta
+        out_data, mean, var, centered, std, xhat = _bn_train_forward(
+            x.data, gamma.data, beta.data, self.eps
+        )
+        self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean[0]
+        self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var[0]
+        tracked = [t for t in (x, gamma, beta) if t.requires_grad or t._parents]
+        if not (is_grad_enabled() and tracked):
+            return Tensor(out_data)
+        gamma_data = gamma.data
+        return Tensor._make(
+            out_data,
+            [
+                (x, lambda g: _bn_backward_x(g, gamma_data, centered, std)),
+                (gamma, lambda g: (g * xhat).sum(axis=0)),
+                (beta, lambda g: g.sum(axis=0)),
+            ],
+        )
 
 
 class LayerNorm(Module):
@@ -209,3 +275,204 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.net(x)
+
+
+# ----------------------------------------------------------------------
+# Multi-seed stacked layers
+# ----------------------------------------------------------------------
+#
+# The batched multi-seed engine trains K independently initialised models
+# at once: every parameter bank gains a leading seed axis and activations
+# use the seed-middle layout (n, K, h), so segment reductions over the
+# leading node axis vectorise across seeds for free.  Stacked modules keep
+# the attribute names of their per-seed templates, which makes the dotted
+# parameter names line up one-to-one and lets a single seed's slice be
+# loaded straight back into a per-seed model.
+
+_SEED_STACKERS: dict[type, object] = {}
+
+
+def register_seed_stacker(cls):
+    """Decorator registering a ``list[Module] -> Module`` stacker for ``cls``.
+
+    Dispatch walks the template's MRO, so a stacker registered for a base
+    class also covers subclasses with the same structure (e.g. the
+    OOD-GNN model reuses the ``GraphClassifier`` stacker).
+    """
+
+    def wrap(fn):
+        _SEED_STACKERS[cls] = fn
+        return fn
+
+    return wrap
+
+
+def stack_seed_modules(modules: list[Module]) -> Module:
+    """Stack K structurally identical per-seed modules into one batched module.
+
+    Raises ``TypeError`` when no stacker covers the module type — the
+    batched engine supports the GIN/GCN family the paper's experiments
+    use; other architectures fall back to sequential multi-seed runs.
+    """
+    modules = list(modules)
+    if not modules:
+        raise ValueError("need at least one module to stack")
+    template = modules[0]
+    for m in modules[1:]:
+        if type(m) is not type(template):
+            raise TypeError(
+                f"cannot stack heterogeneous modules: {type(template).__name__} vs {type(m).__name__}"
+            )
+    for klass in type(template).__mro__:
+        stacker = _SEED_STACKERS.get(klass)
+        if stacker is not None:
+            return stacker(modules)
+    raise TypeError(
+        f"no multi-seed stacker registered for {type(template).__name__}; "
+        "batched seed training supports Linear/BatchNorm1d/MLP-based encoders "
+        "(GIN, GCN) — run other architectures with batched=False"
+    )
+
+
+class SeedLinear(Module):
+    """K stacked affine maps evaluated as one batched matmul.
+
+    ``weight`` is ``(K, in, out)`` and ``bias`` ``(K, out)``; the forward
+    accepts shared ``(n, in)`` inputs (broadcast to every seed) or
+    per-seed ``(K, n, in)`` activations and returns ``(K, n, out)``.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None = None):
+        super().__init__()
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 3:
+            raise ValueError(f"expected (K, in, out) weights, got shape {weight.shape}")
+        self.num_seeds = weight.shape[0]
+        self.in_features = weight.shape[1]
+        self.out_features = weight.shape[2]
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(np.asarray(bias, dtype=np.float64), name="bias") if bias is not None else None
+
+    @classmethod
+    def from_layers(cls, layers: list[Linear]) -> "SeedLinear":
+        """Stack per-seed :class:`Linear` layers (bitwise parameter copies)."""
+        weight = np.stack([l.weight.data for l in layers])
+        has_bias = layers[0].bias is not None
+        bias = np.stack([l.bias.data for l in layers]) if has_bias else None
+        return cls(weight, bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.seed_linear(as_tensor(x), self.weight, self.bias)
+
+    def __repr__(self):
+        return (
+            f"SeedLinear(K={self.num_seeds}, {self.in_features}, {self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class SeedBatchNorm1d(Module):
+    """Per-seed batch normalisation over ``(K, n, h)`` activations.
+
+    Normalises over the sample axis independently for every seed —
+    arithmetically identical to K separate :class:`BatchNorm1d` layers
+    (same taped operation chain, so the backward adjoint matches too),
+    including the running statistics (shape ``(K, h)``).
+    """
+
+    def __init__(self, num_seeds: int, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_seeds = num_seeds
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_seeds, num_features)), name="gamma")
+        self.beta = Parameter(init.zeros((num_seeds, num_features)), name="beta")
+        self.running_mean = np.zeros((num_seeds, num_features), dtype=np.float64)
+        self.running_var = np.ones((num_seeds, num_features), dtype=np.float64)
+
+    @classmethod
+    def from_layers(cls, layers: list[BatchNorm1d]) -> "SeedBatchNorm1d":
+        """Stack per-seed :class:`BatchNorm1d` layers with their statistics."""
+        template = layers[0]
+        out = cls(len(layers), template.num_features, momentum=template.momentum, eps=template.eps)
+        out.gamma.data = np.stack([l.gamma.data for l in layers])
+        out.beta.data = np.stack([l.beta.data for l in layers])
+        out.running_mean = np.stack([l.running_mean for l in layers])
+        out.running_var = np.stack([l.running_var for l in layers])
+        return out
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if not (self.training and x.shape[1] > 1):
+            mean = Tensor(self.running_mean)
+            var = Tensor(self.running_var)
+            normalised = (x - mean.unsqueeze(1)) / (var + self.eps).sqrt().unsqueeze(1)
+            return normalised * self.gamma.unsqueeze(1) + self.beta.unsqueeze(1)
+        # One fused tape node vectorised over seeds (the shared helpers at
+        # axis=1).  Every reduction is a single-axis (sample-axis) reduce,
+        # which numpy evaluates with the same per-(seed, feature)
+        # accumulation tree as the 2-D kernels of :class:`BatchNorm1d` —
+        # bitwise parity with K sequential layers.
+        gamma, beta = self.gamma, self.beta
+        gamma_bc = gamma.data[:, None, :]
+        out_data, mean, var, centered, std, xhat = _bn_train_forward(
+            x.data, gamma_bc, beta.data[:, None, :], self.eps, axis=1
+        )
+        self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean[:, 0, :]
+        self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var[:, 0, :]
+        tracked = [t for t in (x, gamma, beta) if t.requires_grad or t._parents]
+        if not (is_grad_enabled() and tracked):
+            return Tensor(out_data)
+        return Tensor._make(
+            out_data,
+            [
+                (x, lambda g: _bn_backward_x(g, gamma_bc, centered, std, axis=1)),
+                (gamma, lambda g: (g * xhat).sum(axis=1)),
+                (beta, lambda g: g.sum(axis=1)),
+            ],
+        )
+
+
+class SeedMLP(Module):
+    """Stacked multi-layer perceptron; mirrors :class:`MLP`'s layout.
+
+    Built by :meth:`from_layers` so the inner ``net`` Sequential keeps the
+    same positions (and therefore dotted parameter names) as the per-seed
+    template MLPs.
+    """
+
+    def __init__(self, net: Sequential, dims: list[int]):
+        super().__init__()
+        self.net = net
+        self.dims = list(dims)
+
+    @classmethod
+    def from_layers(cls, layers: list[MLP]) -> "SeedMLP":
+        template = layers[0]
+        stacked = [stack_seed_modules([m.net[i] for m in layers]) for i in range(len(template.net))]
+        return cls(Sequential(*stacked), template.dims)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+def _stack_shared(modules):
+    """Stateless modules (activations, Identity, Dropout) are shared as-is."""
+    return modules[0]
+
+
+register_seed_stacker(Linear)(SeedLinear.from_layers)
+register_seed_stacker(BatchNorm1d)(SeedBatchNorm1d.from_layers)
+register_seed_stacker(MLP)(SeedMLP.from_layers)
+register_seed_stacker(Identity)(_stack_shared)
+register_seed_stacker(ReLU)(_stack_shared)
+register_seed_stacker(Tanh)(_stack_shared)
+register_seed_stacker(Sigmoid)(_stack_shared)
+register_seed_stacker(LeakyReLU)(_stack_shared)
+register_seed_stacker(Dropout)(_stack_shared)
+register_seed_stacker(Sequential)(
+    lambda modules: Sequential(
+        *[stack_seed_modules([m[i] for m in modules]) for i in range(len(modules[0]))]
+    )
+)

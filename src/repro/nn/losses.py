@@ -18,6 +18,7 @@ __all__ = [
     "binary_cross_entropy_with_logits",
     "mse_loss",
     "weighted_prediction_loss",
+    "seed_prediction_loss",
 ]
 
 
@@ -115,6 +116,77 @@ def weighted_prediction_loss(logits: Tensor, targets, task_type: str, weights=No
         return binary_cross_entropy_with_logits(logits, targets, weights=weights)
     if task_type == "regression":
         return mse_loss(logits, targets, weights=weights)
+    raise ValueError(f"unknown task type {task_type!r}")
+
+
+def seed_prediction_loss(logits: Tensor, targets, task_type: str, weights=None):
+    """Eq. (6) evaluated per seed over stacked ``(K, n, ...)`` logits.
+
+    The multi-seed engine evaluates K models in one pass; their losses are
+    independent (each seed's parameters only touch its own slice), so the
+    scalar used for backward is the *sum* of the per-seed mean losses —
+    every seed's parameters receive exactly the gradient its sequential
+    counterpart would.
+
+    Parameters
+    ----------
+    logits:
+        ``(K, n)`` or ``(K, n, out)`` seed-leading stacked model outputs.
+    targets:
+        Shared targets, same convention as :func:`weighted_prediction_loss`.
+    weights:
+        ``None`` (uniform), shared ``(n,)``, or per-seed ``(K, n)`` sample
+        weights.
+
+    Returns
+    -------
+    (total, per_seed):
+        ``total`` — scalar Tensor (sum over seeds of per-seed mean loss);
+        ``per_seed`` — ``(K,)`` float array of the per-seed mean losses.
+    """
+    logits = as_tensor(logits)
+    if logits.ndim < 2:
+        raise ValueError(f"expected (K, n, ...) stacked logits, got shape {logits.shape}")
+    k, n = logits.shape[0], logits.shape[1]
+    per_sample = _seed_per_sample_loss(logits, targets, task_type)  # (K, n)
+    if weights is not None:
+        w = as_tensor(weights)
+        if w.shape == (n,):
+            w = w.reshape(1, n)
+        elif w.shape != (k, n):
+            raise ValueError(f"weights shape {w.shape} is neither ({n},) nor ({k}, {n})")
+        per_sample = per_sample * w
+    per_seed = per_sample.mean(axis=1)                              # (K,)
+    return per_seed.sum(), per_seed.data.copy()
+
+
+def _seed_per_sample_loss(logits: Tensor, targets, task_type: str) -> Tensor:
+    """Unweighted per-seed, per-sample loss matrix ``(K, n)``."""
+    k, n = logits.shape[0], logits.shape[1]
+    targets_arr = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+    if task_type == "multiclass":
+        ids = targets_arr.astype(np.int64)
+        log_probs = F.log_softmax(logits, axis=-1)
+        rows = np.arange(k)[:, None]
+        cols = np.arange(n)[None, :]
+        picked = log_probs[(rows, cols, ids[None, :])]
+        return -picked
+    if task_type == "binary":
+        t = targets_arr.astype(np.float64).reshape(n, -1)
+        if logits.ndim != 3 or t.shape != (n, logits.shape[2]):
+            raise ValueError(f"targets shape {targets_arr.shape} incompatible with logits shape {logits.shape}")
+        mask = ~np.isnan(t)
+        safe = np.where(mask, t, 0.0)[None, :, :]                   # (1, n, T)
+        x = logits
+        losses = x.relu() - x * Tensor(safe) + (-(x.abs())).softplus()
+        losses = losses * Tensor(mask.astype(np.float64)[None, :, :])
+        valid = np.maximum(mask.sum(axis=1), 1).astype(np.float64)
+        return losses.sum(axis=-1) * Tensor(1.0 / valid[None, :])
+    if task_type == "regression":
+        t = targets_arr.astype(np.float64).reshape(n, -1)
+        diff = logits - Tensor(t[None, :, :])
+        per_element = diff * diff
+        return per_element.mean(axis=-1)
     raise ValueError(f"unknown task type {task_type!r}")
 
 

@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 
-__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "clip_grad_norm_per_seed"]
 
 
 class Optimizer:
@@ -113,4 +113,31 @@ def clip_grad_norm(params, max_norm: float) -> float:
         scale = max_norm / total
         for g in grads:
             g *= scale
+    return total
+
+
+def clip_grad_norm_per_seed(params, max_norm: float) -> np.ndarray:
+    """Per-seed gradient clipping for seed-stacked parameter banks.
+
+    Every parameter's leading axis indexes the seed; each seed's slice is
+    clipped against its own global L2 norm, exactly as K sequential
+    :func:`clip_grad_norm` calls would.  Returns the ``(K,)`` pre-clipping
+    norms.
+    """
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return np.zeros(0)
+    num_seeds = grads[0].shape[0]
+    squared = np.zeros(num_seeds)
+    for g in grads:
+        if g.shape[0] != num_seeds:
+            raise ValueError(
+                f"seed-stacked gradients disagree on K: {g.shape[0]} vs {num_seeds}"
+            )
+        squared += (g * g).reshape(num_seeds, -1).sum(axis=1)
+    total = np.sqrt(squared)
+    scale = np.where(total > max_norm, max_norm / np.maximum(total, 1e-300), 1.0)
+    if np.any(scale != 1.0):
+        for g in grads:
+            g *= scale.reshape((num_seeds,) + (1,) * (g.ndim - 1))
     return total

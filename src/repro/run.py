@@ -6,6 +6,7 @@ reaches for before writing code:
 
     python -m repro.run --dataset proteins25 --method ood-gnn --seeds 3
     python -m repro.run --dataset ogbg-molbace --method gin --epochs 20
+    python -m repro.run --dataset triangles25 --method gin --seeds 8 --batched-seeds
     python -m repro.run --list
 """
 
@@ -13,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.bench import ExperimentProtocol, run_method_multi_seed
+from repro.bench import ExperimentProtocol, run_method_multi_seed, BATCHED_SEED_METHODS
 from repro.datasets import load_dataset, DATASET_NAMES
 from repro.encoders import available_models
 
@@ -38,6 +39,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-layers", type=int, default=3)
     parser.add_argument("--lr", type=float, default=1e-3)
     parser.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+    parser.add_argument(
+        "--batched-seeds",
+        action="store_true",
+        help="train all seeds as one vectorised job (fixed dataset, per-seed init; "
+        f"supported methods: {', '.join(BATCHED_SEED_METHODS)})",
+    )
     parser.add_argument("--list", action="store_true", help="list datasets and methods, then exit")
     return parser
 
@@ -51,6 +58,10 @@ def main(argv=None) -> int:
         return 0
     if not args.dataset:
         build_parser().error("--dataset is required (or use --list)")
+    if args.batched_seeds and args.method not in BATCHED_SEED_METHODS:
+        build_parser().error(
+            f"--batched-seeds supports {', '.join(BATCHED_SEED_METHODS)}, not {args.method!r}"
+        )
 
     sample = load_dataset(args.dataset, seed=0, scale=args.scale)
     protocol = ExperimentProtocol(
@@ -62,11 +73,14 @@ def main(argv=None) -> int:
         eval_every=2 if sample.info.split_method == "scaffold" else 0,
     )
     factory = lambda seed: load_dataset(args.dataset, seed=seed, scale=args.scale)
-    result = run_method_multi_seed(args.method, factory, tuple(range(args.seeds)), protocol)
+    result = run_method_multi_seed(
+        args.method, factory, tuple(range(args.seeds)), protocol, batched=args.batched_seeds
+    )
 
+    mode = " [batched]" if args.batched_seeds else ""
     print(f"dataset: {sample.info.name}  metric: {sample.info.metric}  "
           f"shift: {sample.info.split_method}")
-    print(f"method : {args.method}  ({args.seeds} seeds, {args.epochs} epochs)")
+    print(f"method : {args.method}  ({args.seeds} seeds, {args.epochs} epochs{mode})")
     print(f"train  : {result.train_mean:.3f} ± {result.train_std:.3f}")
     for split in result.test_mean:
         print(f"{split:7s}: {result.test_mean[split]:.3f} ± {result.test_std[split]:.3f}")

@@ -1,8 +1,14 @@
 """Training and evaluation harness shared by baselines and OOD-GNN."""
 
 from repro.training.metrics import accuracy, roc_auc, rmse, evaluate_metric, METRICS
-from repro.training.loop import iterate_minibatches, predict, evaluate_model
-from repro.training.trainer import Trainer, TrainerConfig
+from repro.training.loop import (
+    iterate_minibatches,
+    predict,
+    evaluate_model,
+    predict_per_seed,
+    evaluate_model_per_seed,
+)
+from repro.training.trainer import Trainer, TrainerConfig, MultiSeedResult
 from repro.training.seed import seeded_rng
 
 __all__ = [
@@ -14,7 +20,10 @@ __all__ = [
     "iterate_minibatches",
     "predict",
     "evaluate_model",
+    "predict_per_seed",
+    "evaluate_model_per_seed",
     "Trainer",
     "TrainerConfig",
+    "MultiSeedResult",
     "seeded_rng",
 ]

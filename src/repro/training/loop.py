@@ -1,4 +1,10 @@
-"""Mini-batch iteration and model evaluation helpers."""
+"""Mini-batch iteration and model evaluation helpers.
+
+Besides the single-model helpers, :func:`predict_per_seed` and
+:func:`evaluate_model_per_seed` evaluate a seed-stacked model (the batched
+multi-seed engine, see ``docs/ARCHITECTURE.md``) for every seed in one
+forward sweep.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +14,13 @@ from repro.autograd.tensor import no_grad
 from repro.graph.data import Graph, GraphBatch
 from repro.training.metrics import evaluate_metric
 
-__all__ = ["iterate_minibatches", "predict", "evaluate_model"]
+__all__ = [
+    "iterate_minibatches",
+    "predict",
+    "evaluate_model",
+    "predict_per_seed",
+    "evaluate_model_per_seed",
+]
 
 
 def iterate_minibatches(
@@ -62,3 +74,33 @@ def evaluate_model(model, graphs: list[Graph], metric: str, batch_size: int = 25
     if metric == "accuracy" and outputs.ndim == 2 and outputs.shape[1] == 1:
         outputs = outputs[:, 0]
     return evaluate_metric(metric, outputs, targets)
+
+
+def predict_per_seed(model, graphs: list[Graph], batch_size: int = 256) -> np.ndarray:
+    """Stacked outputs ``(K, n, out)`` of a seed-stacked model."""
+    model.eval()
+    outputs = []
+    with no_grad():
+        for batch in iterate_minibatches(graphs, batch_size):
+            outputs.append(model(batch).data)
+    model.train()
+    return np.concatenate(outputs, axis=1)
+
+
+def evaluate_model_per_seed(model, graphs: list[Graph], metric: str, batch_size: int = 256) -> list[float]:
+    """Per-seed metric values of a seed-stacked model, one forward sweep.
+
+    Equivalent to calling :func:`evaluate_model` on each of the K per-seed
+    models, but the shared graph batching, message passing scatters and
+    readouts are paid once.
+    """
+    outputs = predict_per_seed(model, graphs, batch_size=batch_size)
+    if outputs.ndim != 3:
+        raise ValueError(f"expected (K, n, out) stacked outputs, got shape {outputs.shape}")
+    targets = stack_targets(graphs)
+    scores = []
+    for out_k in outputs:
+        if metric == "accuracy" and out_k.shape[1] == 1:
+            out_k = out_k[:, 0]
+        scores.append(evaluate_metric(metric, out_k, targets))
+    return scores

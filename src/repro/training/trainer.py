@@ -4,20 +4,29 @@ Trains any :class:`~repro.encoders.models.GraphClassifier` with the plain
 (unweighted) prediction loss — the ERM setup every baseline in Tables 2-4
 uses.  The OOD-GNN trainer in :mod:`repro.core.ood_gnn` extends this loop
 with sample reweighting.
+
+:meth:`Trainer.fit_many` is the batched multi-seed engine (see
+``docs/ARCHITECTURE.md``): K independently initialised models train as one
+vectorised job — parameters stacked along a leading seed axis, every
+forward/backward evaluated once over ``(n, K, h)`` activations — with a
+parity guarantee against K sequential :meth:`Trainer.fit` runs that share
+the same mini-batch stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.graph.data import Graph
-from repro.nn.losses import weighted_prediction_loss
-from repro.nn.optim import Adam, clip_grad_norm
-from repro.training.loop import iterate_minibatches, evaluate_model
+from repro.nn.layers import stack_seed_modules
+from repro.nn.losses import weighted_prediction_loss, seed_prediction_loss
+from repro.nn.optim import Adam, clip_grad_norm, clip_grad_norm_per_seed
+from repro.training.loop import iterate_minibatches, evaluate_model, evaluate_model_per_seed
 
-__all__ = ["Trainer", "TrainerConfig", "TrainingHistory"]
+__all__ = ["Trainer", "TrainerConfig", "TrainingHistory", "MultiSeedResult"]
 
 
 @dataclass
@@ -49,6 +58,28 @@ class TrainingHistory:
     best_metric: float | None = None
 
 
+@dataclass
+class MultiSeedResult:
+    """Outcome of a multi-seed training job (batched or sequential).
+
+    Attributes
+    ----------
+    seeds:
+        The seeds, in order.
+    models:
+        Per-seed models carrying the final (best, when validation model
+        selection ran) parameters — and, for batched runs, the per-seed
+        batch-norm statistics synced back from the stacked model.
+    histories:
+        One per-seed history (:class:`TrainingHistory` or the OOD-GNN
+        variant), index-aligned with ``seeds``.
+    """
+
+    seeds: tuple
+    models: list
+    histories: list
+
+
 class Trainer:
     """ERM trainer: minimise the unweighted prediction loss.
 
@@ -56,6 +87,8 @@ class Trainer:
     ----------
     model:
         A :class:`GraphClassifier` (or anything with the same interface).
+        May be ``None`` when the trainer is only used for
+        :meth:`fit_many`, which builds its models from a factory.
     task_type:
         ``"multiclass"``, ``"binary"`` or ``"regression"`` (Table 1).
     metric:
@@ -68,7 +101,11 @@ class Trainer:
         self.config = config
         self.rng = rng
         self.metric = metric
-        self.optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+        self.optimizer = (
+            Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+            if model is not None
+            else None
+        )
 
     def _batch_loss(self, batch):
         logits = self.model(batch)
@@ -116,6 +153,90 @@ class Trainer:
         if history.best_state is not None:
             self.model.load_state_dict(history.best_state)
         return history
+
+    def fit_many(
+        self,
+        train_graphs: list[Graph],
+        valid_graphs: list[Graph] | None = None,
+        *,
+        seeds,
+        model_factory,
+        batched: bool = True,
+    ) -> MultiSeedResult:
+        """Train one model per seed over a shared mini-batch stream.
+
+        Parameters
+        ----------
+        seeds:
+            Iterable of seeds; ``model_factory(seed)`` must build a fresh,
+            architecturally identical model for each.
+        batched:
+            ``True`` (default) stacks the K models along a leading seed
+            axis and trains them in one vectorised job; ``False`` runs K
+            plain sequential :meth:`fit` calls — the parity reference (and
+            the fallback for architectures without seed-stacked variants).
+
+        Both paths consume identical copies of this trainer's rng for
+        mini-batch shuffling, so under deterministic settings (no dropout)
+        the batched run reproduces the K sequential runs bit-for-bit: same
+        batches, same per-seed losses, gradients, Adam states and clipping
+        decisions.  Early stopping (``config.patience``) is disabled —
+        seeds would stop at different epochs, which a single stacked job
+        cannot express.
+        """
+        seeds = tuple(seeds)
+        if not seeds:
+            raise ValueError("need at least one seed")
+        models = [model_factory(seed) for seed in seeds]
+        base_rng = copy.deepcopy(self.rng)
+        cfg = replace(self.config, patience=0)
+        if not batched:
+            histories = []
+            for model in models:
+                sub = Trainer(model, self.task_type, cfg, copy.deepcopy(base_rng), metric=self.metric)
+                histories.append(sub.fit(train_graphs, valid_graphs))
+            return MultiSeedResult(seeds=seeds, models=models, histories=histories)
+        return self._fit_many_batched(models, seeds, cfg, train_graphs, valid_graphs, copy.deepcopy(base_rng))
+
+    def _fit_many_batched(self, models, seeds, cfg, train_graphs, valid_graphs, rng) -> MultiSeedResult:
+        stacked = stack_seed_modules(models)
+        params = stacked.parameters()
+        optimizer = Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        histories = [TrainingHistory() for _ in models]
+        higher_is_better = self.metric != "rmse"
+        for epoch in range(cfg.epochs):
+            epoch_losses = []  # one (K,) row per batch
+            for batch in iterate_minibatches(train_graphs, cfg.batch_size, rng=rng):
+                optimizer.zero_grad()
+                logits = stacked(batch)
+                total, per_seed = seed_prediction_loss(logits, batch.y, self.task_type)
+                total.backward()
+                clip_grad_norm_per_seed(params, cfg.grad_clip)
+                optimizer.step()
+                epoch_losses.append(per_seed)
+            epoch_means = np.mean(epoch_losses, axis=0)
+            for k, history in enumerate(histories):
+                history.train_loss.append(float(epoch_means[k]))
+            if valid_graphs and cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
+                scores = evaluate_model_per_seed(stacked, valid_graphs, self.metric)
+                for k, history in enumerate(histories):
+                    history.valid_metric.append(scores[k])
+                    improved = (
+                        history.best_metric is None
+                        or (higher_is_better and scores[k] > history.best_metric)
+                        or (not higher_is_better and scores[k] < history.best_metric)
+                    )
+                    if improved:
+                        history.best_metric = scores[k]
+                        history.best_state = stacked.seed_state_dict(k)
+            if cfg.verbose:
+                losses = " ".join(f"{m:.4f}" for m in epoch_means)
+                print(f"epoch {epoch + 1:3d}  loss [{losses}]")
+        for k, (model, history) in enumerate(zip(models, histories)):
+            stacked.sync_into(k, model)
+            if history.best_state is not None:
+                model.load_state_dict(history.best_state)
+        return MultiSeedResult(seeds=seeds, models=models, histories=histories)
 
     def evaluate(self, graphs: list[Graph], metric: str | None = None) -> float:
         """Metric of the current model on ``graphs``."""
