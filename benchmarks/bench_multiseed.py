@@ -25,11 +25,16 @@ Run as pytest-benchmark rows:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_multiseed.py -q
 
-or standalone for a speedup report:
+or standalone for a speedup report plus a machine-readable
+``BENCH_multiseed.json`` (the perf-trajectory artifact CI uploads):
 
     PYTHONPATH=src python benchmarks/bench_multiseed.py
+    PYTHONPATH=src python benchmarks/bench_multiseed.py --train-graphs 64 --repeats 1
 """
 
+import argparse
+import json
+import os
 import time
 
 import numpy as np
@@ -66,7 +71,7 @@ def _graphs(rng, count, lo, hi):
     return graphs
 
 
-def make_dataset(seed: int) -> DatasetSplits:
+def make_dataset(seed: int, num_train: int = NUM_TRAIN) -> DatasetSplits:
     """Synthetic density-classification dataset with a size shift.
 
     Train/valid graphs have 5-9 nodes; the OOD test graphs are 2x larger
@@ -75,7 +80,7 @@ def make_dataset(seed: int) -> DatasetSplits:
     rng = np.random.default_rng((seed + 1) * 613)
     return DatasetSplits(
         info=_INFO,
-        train=_graphs(rng, NUM_TRAIN, 5, 10),
+        train=_graphs(rng, num_train, 5, 10),
         valid=_graphs(rng, 48, 5, 10),
         tests={"Test(large)": _graphs(rng, 48, 10, 20)},
     )
@@ -86,9 +91,13 @@ PROTOCOL = ExperimentProtocol(
 )
 
 
-def _run_job(batched: bool):
+def _run_job(batched: bool, num_train=NUM_TRAIN, num_seeds=NUM_SEEDS, epochs=EPOCHS):
+    protocol = ExperimentProtocol(
+        epochs=epochs, batch_size=BATCH_SIZE, hidden_dim=HIDDEN_DIM, num_layers=3, eval_every=0
+    )
+    factory = lambda seed: make_dataset(seed, num_train)
     return run_method_multi_seed(
-        "gin", make_dataset, tuple(range(NUM_SEEDS)), PROTOCOL, batched=batched
+        "gin", factory, tuple(range(num_seeds)), protocol, batched=batched
     )
 
 
@@ -99,13 +108,13 @@ def _model_factory(seed):
     )
 
 
-def _run_fit(train_graphs, batched: bool, epochs=EPOCHS):
+def _run_fit(train_graphs, batched: bool, epochs=EPOCHS, num_seeds=NUM_SEEDS):
     trainer = Trainer(
         None, _INFO.task_type, TrainerConfig(epochs=epochs, batch_size=BATCH_SIZE),
         np.random.default_rng(3),
     )
     return trainer.fit_many(
-        train_graphs, seeds=tuple(range(NUM_SEEDS)), model_factory=_model_factory, batched=batched
+        train_graphs, seeds=tuple(range(num_seeds)), model_factory=_model_factory, batched=batched
     )
 
 
@@ -122,20 +131,20 @@ def test_fit_many(benchmark, mode):
     benchmark(lambda: _run_fit(train_graphs, mode == "batched"))
 
 
-def measure_speedup(repeats=3):
+def measure_speedup(repeats=3, num_train=NUM_TRAIN, num_seeds=NUM_SEEDS, epochs=EPOCHS):
     """Wall-clock ratios sequential/batched for the job and fit levels."""
-    train_graphs = make_dataset(0).train
+    train_graphs = make_dataset(0, num_train).train
     timings = {}
     for mode in MODES:
         batched = mode == "batched"
-        _run_job(batched)  # warm-up (BLAS threads, allocator)
+        _run_job(batched, num_train, num_seeds, epochs)  # warm-up (BLAS, allocator)
         start = time.perf_counter()
         for _ in range(repeats):
-            _run_job(batched)
+            _run_job(batched, num_train, num_seeds, epochs)
         timings[("job", mode)] = (time.perf_counter() - start) / repeats
         start = time.perf_counter()
         for _ in range(repeats):
-            _run_fit(train_graphs, batched)
+            _run_fit(train_graphs, batched, epochs, num_seeds)
         timings[("fit", mode)] = (time.perf_counter() - start) / repeats
     ratios = {
         level: timings[(level, "sequential")] / timings[(level, "batched")]
@@ -157,14 +166,62 @@ def test_batched_speedup_target():
     assert ratios["fit"] >= 2.0, f"batched multi-seed training only {ratios['fit']:.2f}x faster"
 
 
-if __name__ == "__main__":
-    timings, ratios = measure_speedup()
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=NUM_SEEDS, help="K seeds per job")
+    parser.add_argument("--train-graphs", type=int, default=NUM_TRAIN)
+    parser.add_argument("--epochs", type=int, default=EPOCHS)
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats per mode")
+    parser.add_argument(
+        "--json",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_multiseed.json"),
+        help="machine-readable output path (default: benchmarks/BENCH_multiseed.json)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    timings, ratios = measure_speedup(
+        repeats=args.repeats, num_train=args.train_graphs,
+        num_seeds=args.seeds, epochs=args.epochs,
+    )
     print(
-        f"multi-seed GIN, K={NUM_SEEDS} seeds, {NUM_TRAIN} train graphs, "
-        f"hidden_dim={HIDDEN_DIM}, {EPOCHS} epochs, batch {BATCH_SIZE}:"
+        f"multi-seed GIN, K={args.seeds} seeds, {args.train_graphs} train graphs, "
+        f"hidden_dim={HIDDEN_DIM}, {args.epochs} epochs, batch {BATCH_SIZE}:"
     )
     for level, label in (("job", "experiment job (data+train+eval)"), ("fit", "training only (fixed data)")):
         seq, bat = timings[(level, "sequential")], timings[(level, "batched")]
         print(f"  {label}:")
         print(f"    sequential: {seq:6.2f} s    batched: {bat:6.2f} s    speedup: {ratios[level]:.2f}x")
     print(f"  acceptance: job >= 2x -> {'PASS' if ratios['job'] >= 2.0 else 'FAIL'}")
+
+    payload = {
+        "benchmark": "multiseed",
+        "shape": {
+            "seeds": args.seeds, "train_graphs": args.train_graphs,
+            "hidden_dim": HIDDEN_DIM, "epochs": args.epochs, "batch_size": BATCH_SIZE,
+        },
+        "job": {
+            "sequential_s": timings[("job", "sequential")],
+            "batched_s": timings[("job", "batched")],
+            "speedup": ratios["job"],
+            "target": 2.0,
+        },
+        "fit": {
+            "sequential_s": timings[("fit", "sequential")],
+            "batched_s": timings[("fit", "batched")],
+            "speedup": ratios["fit"],
+            "target": 2.0,
+        },
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

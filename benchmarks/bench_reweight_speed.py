@@ -1,44 +1,67 @@
-"""Inner reweighting loop: fused closed-form engine vs the taped reference.
+"""Inner reweighting loop: fused engine vs taped reference, batched vs per-seed.
 
 Algorithm 1's dominant cost is the inner loop of `SampleWeightLearner.learn`
 — ``Epoch_Reweight`` loss/gradient/Adam steps per batch per outer epoch.
-The fused backend (`repro.core.fused`) computes the loss and its analytical
-weight gradient in closed form on a per-batch precomputed sample-space
-Gram; this bench records the resulting speedup at the paper-scale shape
-``(n, d, Q) = (256, 64, 5)`` (hidden_dim 64, Q = 5, batch 256).
+Two speedups are measured at the paper-scale shape
+``(n, d, Q) = (256, 64, 5)`` (hidden_dim 64, Q = 5, batch 256):
 
-Acceptance target (ISSUE 1): fused inner loop >= 3x faster than the
-autograd path at that shape, with the parity suite green.
+* **fused vs autograd** (ISSUE 1): the closed-form engine
+  (`repro.core.fused`) against the taped reference — loss and analytical
+  weight gradient on a per-batch precomputed sample-space Gram.
+  Acceptance: >= 3x.
+* **seed-batched vs sequential** (ISSUE 3): `learn_many` running K seeds'
+  inner loops as one stacked `SeedFusedDecorrelation` job against K
+  sequential fused `learn` calls.  Acceptance: >= 2x at ``--seeds 8``.
 
 Run as pytest-benchmark rows:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_reweight_speed.py -q
 
-or standalone for a one-line speedup report:
+or standalone for a speedup report plus a machine-readable
+``BENCH_reweight.json`` (the perf-trajectory artifact CI uploads):
 
-    PYTHONPATH=src python benchmarks/bench_reweight_speed.py
+    PYTHONPATH=src python benchmarks/bench_reweight_speed.py --seeds 8
+    PYTHONPATH=src python benchmarks/bench_reweight_speed.py --n 64 --epochs 5 --repeats 2
 """
 
+import argparse
+import json
+import os
 import time
 
 import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.core import FusedDecorrelation, RandomFourierFeatures, SampleWeightLearner
+from repro.core import (
+    FusedDecorrelation,
+    RandomFourierFeatures,
+    SampleWeightLearner,
+    learn_many,
+)
 from repro.core.hsic import pairwise_decorrelation_loss
 
 N, D, Q = 256, 64, 5
+NUM_SEEDS = 8
 BACKENDS = ("autograd", "fused")
+SEED_MODES = ("sequential", "batched")
 
 
 def _representations(n=N, d=D, seed=0):
     return np.random.default_rng(seed).normal(size=(n, d))
 
 
-def _learner(backend, epochs=20):
-    rff = RandomFourierFeatures(num_functions=Q, rng=np.random.default_rng(1))
+def _seed_representations(num_seeds=NUM_SEEDS, n=N, d=D, seed=0):
+    return np.random.default_rng(seed).normal(size=(num_seeds, n, d))
+
+
+def _learner(backend, epochs=20, q=Q, rng_seed=1):
+    rff = RandomFourierFeatures(num_functions=q, rng=np.random.default_rng(rng_seed))
     return SampleWeightLearner(rff, epochs=epochs, lr=0.05, l2_penalty=0.05, backend=backend)
+
+
+def _roster(num_seeds, epochs=20, q=Q):
+    return [_learner("fused", epochs=epochs, q=q, rng_seed=100 + s) for s in range(num_seeds)]
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -47,6 +70,17 @@ def test_inner_loop(benchmark, backend):
     z = _representations()
     learner = _learner(backend)
     benchmark(lambda: learner.learn(z).final_loss)
+
+
+@pytest.mark.parametrize("mode", SEED_MODES)
+def test_seed_batched_inner_loop(benchmark, mode):
+    """K=8 inner loops: one seed-batched job vs K sequential fused loops."""
+    z = _seed_representations()
+    roster = _roster(NUM_SEEDS)
+    if mode == "batched":
+        benchmark(lambda: learn_many(roster, z)[-1].final_loss)
+    else:
+        benchmark(lambda: [l.learn(z[k]) for k, l in enumerate(roster)][-1].final_loss)
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -69,18 +103,38 @@ def test_loss_and_grad_step(benchmark, backend):
         benchmark(taped)
 
 
-def measure_speedup(epochs=20, repeats=5):
-    """Wall-clock ratio autograd/fused of the full inner loop."""
-    z = _representations()
+def measure_speedup(epochs=20, repeats=5, n=N, d=D, q=Q):
+    """Wall-clock ratio autograd/fused of the full single-seed inner loop."""
+    z = _representations(n=n, d=d)
     timings = {}
     for backend in BACKENDS:
-        learner = _learner(backend, epochs=epochs)
+        learner = _learner(backend, epochs=epochs, q=q)
         learner.learn(z)  # warm-up (BLAS threads, allocator)
         start = time.perf_counter()
         for _ in range(repeats):
             learner.learn(z)
         timings[backend] = (time.perf_counter() - start) / repeats
     return timings, timings["autograd"] / timings["fused"]
+
+
+def measure_seed_batched_speedup(num_seeds=NUM_SEEDS, epochs=20, repeats=5, n=N, d=D, q=Q):
+    """Wall-clock ratio sequential/batched of K fused inner loops."""
+    z = _seed_representations(num_seeds=num_seeds, n=n, d=d)
+    timings = {}
+    for mode in SEED_MODES:
+        roster = _roster(num_seeds, epochs=epochs, q=q)
+
+        def run():
+            if mode == "batched":
+                return learn_many(roster, z)
+            return [l.learn(z[k]) for k, l in enumerate(roster)]
+
+        run()  # warm-up (engine caches, BLAS threads)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            run()
+        timings[mode] = (time.perf_counter() - start) / repeats
+    return timings, timings["sequential"] / timings["batched"]
 
 
 def test_fused_speedup_target():
@@ -93,10 +147,75 @@ def test_fused_speedup_target():
     assert speedup >= 3.0, f"fused inner loop only {speedup:.2f}x faster"
 
 
-if __name__ == "__main__":
-    timings, speedup = measure_speedup()
-    per_epoch = {k: v / 20 * 1e3 for k, v in timings.items()}
-    print(f"inner reweighting loop at (n={N}, d={D}, Q={Q}), 20 epochs:")
+def test_seed_batched_speedup_target():
+    """ISSUE 3 acceptance: batched >= 2x over 8 sequential fused loops.
+
+    Not part of tier-1 — bench files are not collected by default.
+    """
+    _, speedup = measure_seed_batched_speedup(repeats=3)
+    assert speedup >= 2.0, f"seed-batched inner loop only {speedup:.2f}x faster"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=NUM_SEEDS, help="K for the batched comparison")
+    parser.add_argument("--n", type=int, default=N, help="batch size (samples)")
+    parser.add_argument("--d", type=int, default=D, help="representation dimensions")
+    parser.add_argument("--q", type=int, default=Q, help="random Fourier functions per dimension")
+    parser.add_argument("--epochs", type=int, default=20, help="inner reweighting epochs")
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats per mode")
+    parser.add_argument(
+        "--json",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_reweight.json"),
+        help="machine-readable output path (default: benchmarks/BENCH_reweight.json)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    shape = dict(n=args.n, d=args.d, q=args.q, epochs=args.epochs, seeds=args.seeds)
+    timings, fused_speedup = measure_speedup(
+        epochs=args.epochs, repeats=args.repeats, n=args.n, d=args.d, q=args.q
+    )
+    seed_timings, batched_speedup = measure_seed_batched_speedup(
+        num_seeds=args.seeds, epochs=args.epochs, repeats=args.repeats,
+        n=args.n, d=args.d, q=args.q,
+    )
+
+    print(f"inner reweighting loop at (n={args.n}, d={args.d}, Q={args.q}), {args.epochs} epochs:")
     for backend in BACKENDS:
-        print(f"  {backend:>9}: {timings[backend] * 1e3:7.2f} ms/loop  ({per_epoch[backend]:.2f} ms/epoch)")
-    print(f"  speedup: {speedup:.2f}x (target >= 3x)")
+        per_epoch = timings[backend] / args.epochs * 1e3
+        print(f"  {backend:>10}: {timings[backend] * 1e3:8.2f} ms/loop  ({per_epoch:.2f} ms/epoch)")
+    print(f"  fused speedup: {fused_speedup:.2f}x (target >= 3x)")
+    print(f"seed-batched, K={args.seeds} seeds:")
+    for mode in SEED_MODES:
+        print(f"  {mode:>10}: {seed_timings[mode] * 1e3:8.2f} ms for all {args.seeds} loops")
+    print(f"  batched speedup: {batched_speedup:.2f}x (target >= 2x)")
+
+    payload = {
+        "benchmark": "reweight_speed",
+        "shape": shape,
+        "single_seed": {
+            "autograd_s": timings["autograd"],
+            "fused_s": timings["fused"],
+            "speedup": fused_speedup,
+            "target": 3.0,
+        },
+        "seed_batched": {
+            "sequential_s": seed_timings["sequential"],
+            "batched_s": seed_timings["batched"],
+            "speedup": batched_speedup,
+            "target": 2.0,
+        },
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

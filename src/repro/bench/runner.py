@@ -10,12 +10,16 @@ repeated seeds.
 job (``batched=True``, the multi-seed engine of
 ``docs/ARCHITECTURE.md``): the dataset is fixed at the first seed and
 only model initialisation varies, so K encoder forwards/backwards
-collapse into one vectorised pass.  Supported for the GIN/GCN family and
-``ood-gnn``; other methods fall back to sequential runs.
+collapse into one vectorised pass — and for ``ood-gnn`` the K inner
+reweighting loops run as one seed-batched closed-form job
+(``batched_reweight``, default on).  Supported for the GIN/GCN family
+and ``ood-gnn``; other methods fall back to sequential runs with a
+one-time warning.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -119,12 +123,29 @@ def run_method(
     return train_metric, test_metrics
 
 
+_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_sequential_fallback(method: str) -> None:
+    """One-time warning that a batched request runs sequentially."""
+    if method not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(method)
+        warnings.warn(
+            f"method {method!r} has no seed-stacked variant "
+            f"(batched seeds support: {', '.join(BATCHED_SEED_METHODS)}); "
+            "falling back to sequential per-seed runs",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def run_method_multi_seed(
     method: str,
     dataset_factory,
     seeds,
     protocol: ExperimentProtocol,
     batched: bool = False,
+    batched_reweight: bool = True,
 ) -> MethodResult:
     """Repeat :func:`run_method` over seeds with fresh datasets per seed.
 
@@ -135,12 +156,20 @@ def run_method_multi_seed(
     With ``batched=True`` all seeds train as one vectorised job instead:
     the dataset is fixed at ``dataset_factory(seeds[0])`` and only the
     model initialisation varies across seeds (the std then reports
-    initialisation noise, not data noise).  Methods without a
-    seed-stacked variant (see :data:`BATCHED_SEED_METHODS`) fall back to
-    the sequential path.
+    initialisation noise, not data noise).  For ``"ood-gnn"``,
+    ``batched_reweight`` additionally runs Algorithm 1's inner
+    sample-weight loops as one seed-batched closed-form job (default on;
+    pass ``False`` — the CLI's ``--sequential-reweight`` — for the
+    per-seed reference loops).  Methods without a seed-stacked variant
+    (see :data:`BATCHED_SEED_METHODS`) fall back to the sequential path
+    with a one-time ``RuntimeWarning``.
     """
     if batched and method in BATCHED_SEED_METHODS:
-        return _run_method_multi_seed_batched(method, dataset_factory, tuple(seeds), protocol)
+        return _run_method_multi_seed_batched(
+            method, dataset_factory, tuple(seeds), protocol, batched_reweight
+        )
+    if batched:
+        _warn_sequential_fallback(method)
     trains, tests = [], []
     for seed in seeds:
         dataset = dataset_factory(seed)
@@ -166,6 +195,7 @@ def _run_method_multi_seed_batched(
     dataset_factory,
     seeds: tuple,
     protocol: ExperimentProtocol,
+    batched_reweight: bool = True,
 ) -> MethodResult:
     """All seeds of one method as a single seed-stacked training job."""
     dataset = dataset_factory(seeds[0])
@@ -191,6 +221,7 @@ def _run_method_multi_seed_batched(
             model_factory=lambda seed: OODGNN(
                 info.feature_dim, info.model_out_dim, np.random.default_rng((seed + 1) * 7919), config=cfg
             ),
+            batched_reweight=batched_reweight,
         )
     else:
         tcfg = TrainerConfig(

@@ -9,10 +9,13 @@ This package implements the paper's contribution:
 * :mod:`repro.core.decorrelation` — the decorrelation objective over all
   dimension pairs (Eq. (7)/(10)) and the projected sample-weight
   optimiser, with ``backend="fused"`` (closed-form, default) and
-  ``backend="autograd"`` (taped reference) engines.
-* :mod:`repro.core.fused` — the closed-form loss/gradient engine behind
+  ``backend="autograd"`` (taped reference) engines; ``learn_many`` runs K
+  seeds' inner loops as one stacked job.
+* :mod:`repro.core.fused` — the closed-form loss/gradient engines behind
   the fused backend: analytical weight gradients, a precomputed
-  sample-space Gram, cached block masks and an in-place Adam.
+  sample-space Gram with blocked streaming evaluation, cached block
+  masks, an in-place Adam, and the seed-batched
+  ``SeedFusedDecorrelation`` variant over ``(K, n, d, Q)`` stacks.
 * :mod:`repro.core.global_local` — the global-local weight estimator with
   momentum memory groups (Eqs. (8) and (9)).
 * :mod:`repro.core.ood_gnn` — the OOD-GNN model and the Algorithm-1
@@ -25,8 +28,8 @@ the multi-seed engine are documented in ``docs/ARCHITECTURE.md``.
 
 from repro.core.rff import RandomFourierFeatures
 from repro.core.hsic import hsic_gaussian, weighted_cross_covariance, pairwise_decorrelation_loss
-from repro.core.fused import FusedDecorrelation, InPlaceAdam
-from repro.core.decorrelation import SampleWeightLearner, project_weights
+from repro.core.fused import FusedDecorrelation, SeedFusedDecorrelation, InPlaceAdam
+from repro.core.decorrelation import SampleWeightLearner, learn_many, project_weights
 from repro.core.global_local import GlobalLocalWeightEstimator
 from repro.core.ood_gnn import OODGNN, OODGNNConfig, OODGNNTrainer
 
@@ -36,8 +39,10 @@ __all__ = [
     "weighted_cross_covariance",
     "pairwise_decorrelation_loss",
     "FusedDecorrelation",
+    "SeedFusedDecorrelation",
     "InPlaceAdam",
     "SampleWeightLearner",
+    "learn_many",
     "project_weights",
     "GlobalLocalWeightEstimator",
     "OODGNN",

@@ -17,6 +17,12 @@ Two interchangeable backends drive the loop:
   truth the fused path is verified against (to 1e-8 by
   ``tests/test_fused_decorrelation.py``) and as the fallback for exotic
   differentiation needs.
+
+:func:`learn_many` is the seed-batched entry point: K per-seed learners
+(each owning its own RFF stream) run their inner loops as one stacked
+closed-form job on a :class:`~repro.core.fused.SeedFusedDecorrelation`
+engine, matching K sequential :meth:`SampleWeightLearner.learn` calls to
+1e-8 (``tests/test_seed_batched_reweight.py``).
 """
 
 from __future__ import annotations
@@ -26,12 +32,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.autograd.tensor import Tensor, concatenate
-from repro.core.fused import FusedDecorrelation, InPlaceAdam
+from repro.core.fused import FusedDecorrelation, InPlaceAdam, SeedFusedDecorrelation
 from repro.core.hsic import pairwise_decorrelation_loss
-from repro.core.rff import RandomFourierFeatures
+from repro.core.rff import RandomFourierFeatures, map_features_many
 from repro.nn.optim import Adam
 
-__all__ = ["SampleWeightLearner", "project_weights", "WeightLearningResult"]
+__all__ = ["SampleWeightLearner", "learn_many", "project_weights", "WeightLearningResult"]
 
 BACKENDS = ("fused", "autograd")
 
@@ -43,16 +49,20 @@ def project_weights(weights: np.ndarray, floor: float = 0.0, ceiling: float | No
     non-negative), optionally above ``ceiling`` (bounding how hard a
     single sample can dominate a batch), and rescales so the mean is
     exactly 1, i.e. ``sum_n w_n = N`` as required below Eq. (1).
+
+    Operates over the last axis: a ``(K, n)`` seed stack is projected
+    row-wise, each row exactly as the 1-D call would project it.
     """
     clipped = np.maximum(np.asarray(weights, dtype=np.float64), floor)
     if ceiling is not None:
         clipped = np.minimum(clipped, ceiling)
-    total = clipped.sum()
+    n = clipped.shape[-1]
+    total = clipped.sum(axis=-1, keepdims=True)
     # Degenerate (all ~zero) weight vectors reset to uniform; the epsilon
     # guards against overflow when rescaling subnormal totals.
-    if total <= 1e-12 * clipped.size:
-        return np.ones_like(clipped)
-    return clipped * (clipped.size / total)
+    degenerate = total <= 1e-12 * n
+    safe_total = np.where(degenerate, 1.0, total)
+    return np.where(degenerate, 1.0, clipped * (n / safe_total))
 
 
 @dataclass
@@ -120,6 +130,7 @@ class SampleWeightLearner:
         self.max_weight = max_weight
         self.backend = backend
         self._engine: FusedDecorrelation | None = None
+        self._seed_engine: SeedFusedDecorrelation | None = None
 
     def _fused_engine(self, feats: np.ndarray) -> FusedDecorrelation:
         """Fused engine for ``feats``, reusing cached buffers when possible.
@@ -136,12 +147,29 @@ class SampleWeightLearner:
         self._engine = FusedDecorrelation(feats)
         return self._engine
 
+    def _fused_seed_engine(self, feats: np.ndarray) -> SeedFusedDecorrelation:
+        """Seed-batched engine for a ``(K, n, d, Q)`` stack, cache-refreshed.
+
+        Mirrors :meth:`_fused_engine`: same-shape stacks (the multi-seed
+        trainer's steady state) reuse the cached Gram/scratch buffers via
+        :meth:`SeedFusedDecorrelation.refresh`.  The cache lives on the
+        lead learner of a :func:`learn_many` roster.
+        """
+        engine = self._seed_engine
+        if engine is not None and feats.shape == (
+            engine.num_seeds, engine.n, engine.num_dims, engine.q
+        ):
+            return engine.refresh(feats)
+        self._seed_engine = SeedFusedDecorrelation(feats)
+        return self._seed_engine
+
     def _prepare(self, representations: np.ndarray) -> np.ndarray:
+        """Z-score over the sample axis; accepts ``(n, d)`` or ``(K, n, d)``."""
         z = np.asarray(representations, dtype=np.float64)
         if not self.standardise:
             return z
-        mean = z.mean(axis=0, keepdims=True)
-        std = z.std(axis=0, keepdims=True)
+        mean = z.mean(axis=-2, keepdims=True)
+        std = z.std(axis=-2, keepdims=True)
         return (z - mean) / np.maximum(std, 1e-8)
 
     def decorrelation_loss(self, representations: np.ndarray, weights) -> Tensor:
@@ -276,3 +304,140 @@ class SampleWeightLearner:
             local = project_weights(local, ceiling=self.max_weight)
             losses.append(loss)
         return local, losses, initial_loss
+
+
+# ----------------------------------------------------------------------
+# Seed-batched inner loop
+# ----------------------------------------------------------------------
+_STACKABLE_ATTRS = (
+    "epochs", "lr", "l2_penalty", "resample_rff", "standardise", "max_weight", "backend",
+)
+
+
+def _stackable(learners) -> bool:
+    """Whether the roster can run as one stacked closed-form job."""
+    lead = learners[0]
+    return (
+        lead.backend == "fused"
+        and all(
+            getattr(l, attr) == getattr(lead, attr)
+            for l in learners
+            for attr in _STACKABLE_ATTRS
+        )
+        and all(
+            (l.rff.num_functions, l.rff.fraction, l.rff.linear)
+            == (lead.rff.num_functions, lead.rff.fraction, lead.rff.linear)
+            for l in learners
+        )
+    )
+
+
+def learn_many(
+    learners,
+    representations: np.ndarray,
+    fixed_weights: np.ndarray | None = None,
+    init_locals: np.ndarray | None = None,
+) -> list[WeightLearningResult]:
+    """Run K inner reweighting loops as one seed-batched closed-form job.
+
+    The batched counterpart of K :meth:`SampleWeightLearner.learn` calls —
+    the entry point the multi-seed OOD-GNN trainer feeds its seed-stacked
+    representations into (see ``docs/ARCHITECTURE.md``).
+
+    Parameters
+    ----------
+    learners:
+        One :class:`SampleWeightLearner` per seed.  Each keeps its own RFF
+        sampler, so the per-seed random-feature streams are exactly those
+        the sequential path would draw.  All shared hyper-parameters
+        (epochs, lr, l2, projection ceiling, standardise, resample,
+        backend) must agree for the stacked fast path; rosters that differ
+        — or that use the ``"autograd"`` reference backend — are
+        dispatched to sequential per-seed ``learn`` calls instead.
+    representations:
+        ``(K, n, d)`` stacked representations, one ``hat-Z`` per seed
+        (global groups on top of the local mini-batch, all the same size).
+    fixed_weights:
+        ``(K, m)`` global weights held constant per seed, or ``None`` when
+        every row is local (must be uniform across seeds — the multi-seed
+        trainer's global memories initialise in lockstep).
+    init_locals:
+        ``(K, n - m)`` initial local weights; defaults to all-ones.
+
+    Returns
+    -------
+    list[WeightLearningResult]
+        Per-seed results, index-aligned with ``learners`` and matching K
+        sequential ``learn`` calls to 1e-8
+        (``tests/test_seed_batched_reweight.py``).
+    """
+    learners = list(learners)
+    if not learners:
+        raise ValueError("need at least one learner")
+    reps = np.asarray(representations, dtype=np.float64)
+    if reps.ndim != 3 or reps.shape[0] != len(learners):
+        raise ValueError(
+            f"expected ({len(learners)}, n, d) representations, got shape {reps.shape}"
+        )
+    if not _stackable(learners):
+        return [
+            learner.learn(
+                reps[k],
+                fixed_weights=None if fixed_weights is None else fixed_weights[k],
+                init_local=None if init_locals is None else init_locals[k],
+            )
+            for k, learner in enumerate(learners)
+        ]
+
+    lead = learners[0]
+    num_seeds, n_total = reps.shape[0], reps.shape[1]
+    z = lead._prepare(reps)
+    n_fixed = 0 if fixed_weights is None else np.asarray(fixed_weights).shape[1]
+    n_local = n_total - n_fixed
+    if n_local <= 0:
+        raise ValueError("no local rows to optimise")
+
+    local = (
+        np.ones((num_seeds, n_local))
+        if init_locals is None
+        else np.array(init_locals, dtype=np.float64)
+    )
+    fixed = np.asarray(fixed_weights, dtype=np.float64) if n_fixed else None
+    optimizer = InPlaceAdam(local.shape, lr=lead.lr)
+
+    def sample_features() -> np.ndarray:
+        # One set of draws per learner, in seed order — each seed's rng
+        # stream advances exactly as its sequential learn() would — with
+        # the cosine map fused over the stack (bitwise per-seed).
+        return map_features_many([learner.rff for learner in learners], z)
+
+    engine = lead._fused_seed_engine(sample_features())
+    losses = np.empty((lead.epochs, num_seeds))
+    initial = None
+    for epoch in range(lead.epochs):
+        if lead.resample_rff and epoch > 0:
+            engine = lead._fused_seed_engine(sample_features())
+        raw = np.concatenate([fixed, local], axis=1) if fixed is not None else local
+        total = raw.sum(axis=1)
+        weights = raw * (n_total / total)[:, None]
+        loss, grad = engine.loss_and_grad(weights)
+        if initial is None:
+            initial = loss.copy()
+        grad += (2.0 * lead.l2_penalty / n_total) * (weights - 1.0)
+        grad_raw = (
+            grad - (np.einsum("kn,kn->k", raw, grad) / total)[:, None]
+        ) * (n_total / total)[:, None]
+        optimizer.step(local, grad_raw[:, n_fixed:])
+        local = project_weights(local, ceiling=lead.max_weight)
+        losses[epoch] = loss
+
+    projected = project_weights(local, ceiling=lead.max_weight)
+    return [
+        WeightLearningResult(
+            weights=projected[k],
+            losses=[float(l) for l in losses[:, k]],
+            initial_loss=float(initial[k]),
+            final_loss=float(losses[-1, k]),
+        )
+        for k in range(num_seeds)
+    ]

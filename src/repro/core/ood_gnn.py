@@ -20,14 +20,14 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.graph.data import Graph
-from repro.nn.layers import stack_seed_modules
+from repro.nn.layers import try_stack_seed_modules
 from repro.nn.losses import weighted_prediction_loss, seed_prediction_loss
 from repro.nn.optim import Adam, clip_grad_norm, clip_grad_norm_per_seed
 from repro.encoders.base import StackedEncoder, GraphEncoder
 from repro.encoders.conv import GINConv
 from repro.encoders.models import GraphClassifier
 from repro.core.rff import RandomFourierFeatures
-from repro.core.decorrelation import SampleWeightLearner
+from repro.core.decorrelation import SampleWeightLearner, learn_many
 from repro.core.global_local import GlobalLocalWeightEstimator
 from repro.training.loop import iterate_minibatches, evaluate_model, evaluate_model_per_seed
 from repro.training.seed import seeded_rng
@@ -290,25 +290,34 @@ class OODGNNTrainer:
         seeds,
         model_factory,
         batched: bool = True,
+        batched_reweight: bool = True,
     ) -> MultiSeedResult:
         """Run Algorithm 1 for K seeds over a shared mini-batch stream.
 
         With ``batched=True`` the K encoders/classifiers train as one
         seed-stacked job: line 3's representations and line 9's weighted
         back-propagation are evaluated once over ``(K, |B|, d)`` stacks,
-        while lines 4-8 run one (already fused, closed-form) inner weight
-        loop per seed on that seed's detached representations — each with
-        its own per-batch Gram precompute and momentum memory.
-        ``batched=False`` is the sequential parity reference: K plain
-        :meth:`fit` runs whose shuffle streams and per-seed RFF streams
-        are copied from the same sources the batched path uses.
+        and (with ``batched_reweight=True``, the default) lines 4-8 run
+        as one seed-batched closed-form inner loop over the stacked
+        representations (:func:`repro.core.decorrelation.learn_many`) —
+        Algorithm 1 vectorised across seeds end-to-end.
+        ``batched_reweight=False`` is the escape hatch that keeps the
+        encoder stacked but runs the K inner weight loops sequentially
+        per batch (one fused loop per seed, the pre-vectorisation
+        behaviour and the parity reference for the batched inner loop).
+        ``batched=False`` is the fully sequential parity reference: K
+        plain :meth:`fit` runs whose shuffle streams and per-seed RFF
+        streams are copied from the same sources the batched path uses.
+        Models without a seed-stacked variant downgrade to the sequential
+        path with a one-time ``RuntimeWarning``.
         """
         seeds = tuple(seeds)
         if not seeds:
             raise ValueError("need at least one seed")
         models = [model_factory(seed) for seed in seeds]
         base_rng = copy.deepcopy(self.rng)
-        if not batched:
+        stacked = try_stack_seed_modules(models) if batched else None
+        if stacked is None:
             histories = []
             for seed, model in zip(seeds, models):
                 sub = OODGNNTrainer(
@@ -318,12 +327,38 @@ class OODGNNTrainer:
                 histories.append(sub.fit(train_graphs, valid_graphs, eval_every=eval_every))
             return MultiSeedResult(seeds=seeds, models=models, histories=histories)
         return self._fit_many_batched(
-            models, seeds, train_graphs, valid_graphs, eval_every, copy.deepcopy(base_rng)
+            stacked, models, seeds, train_graphs, valid_graphs, eval_every,
+            copy.deepcopy(base_rng), batched_reweight,
         )
 
-    def _fit_many_batched(self, models, seeds, train_graphs, valid_graphs, eval_every, rng) -> MultiSeedResult:
+    def _reweight_many(self, components, z_detached: np.ndarray):
+        """Lines 4-8 for all K seeds as one seed-batched inner loop.
+
+        Concatenates each seed's global memory over its local stack row
+        (Eq. (8) per seed) and hands the ``(K, n, d)`` stack to
+        :func:`learn_many`.  The estimators update in lockstep (same
+        batches, same group count), so the fixed global row count is
+        uniform across seeds — asserted here because the stacked loop
+        cannot express ragged fixed blocks.
+        """
+        z_hats, w_globals = [], []
+        for k, (_learner, estimator) in enumerate(components):
+            z_hat, w_global = estimator.concat(z_detached[k], np.ones(len(z_detached[k])))
+            z_hats.append(z_hat)
+            w_globals.append(w_global)
+        if w_globals[0] is None:
+            assert all(w is None for w in w_globals), "global memories out of lockstep"
+            fixed = None
+        else:
+            fixed = np.stack(w_globals)
+        learners = [learner for learner, _estimator in components]
+        return learn_many(learners, np.stack(z_hats), fixed_weights=fixed)
+
+    def _fit_many_batched(
+        self, stacked, models, seeds, train_graphs, valid_graphs, eval_every, rng,
+        batched_reweight: bool = True,
+    ) -> MultiSeedResult:
         cfg = self.config
-        stacked = stack_seed_modules(models)
         num_seeds = len(models)
         # Replay the rff-seeding draw the sequential OODGNNTrainer.__init__
         # makes, so both paths shuffle mini-batches from the same stream.
@@ -342,17 +377,24 @@ class OODGNNTrainer:
                 z = stacked.representations(batch)                       # (K, |B|, d)
                 weights = np.empty((num_seeds, batch.num_graphs))
                 decorr = np.empty(num_seeds)
-                for k, (learner, estimator) in enumerate(components):
-                    z_k = z.data[k]
-                    if warming_up:
-                        w_k = np.ones(batch.num_graphs)
-                        decorr[k] = float(learner.decorrelation_loss(z_k, Tensor(w_k)).data)
-                    else:
+                if warming_up:
+                    weights[:] = 1.0
+                    for k, (learner, _estimator) in enumerate(components):
+                        decorr[k] = float(
+                            learner.decorrelation_loss(z.data[k], Tensor(weights[k])).data
+                        )
+                elif batched_reweight:
+                    results = self._reweight_many(components, z.data)
+                    for k, result in enumerate(results):
+                        weights[k] = result.weights
+                        decorr[k] = result.final_loss
+                else:
+                    for k, (learner, estimator) in enumerate(components):
+                        z_k = z.data[k]
                         z_hat, w_global = estimator.concat(z_k, np.ones(len(z_k)))
                         result = learner.learn(z_hat, fixed_weights=w_global)
-                        w_k = result.weights
+                        weights[k] = result.weights
                         decorr[k] = result.final_loss
-                    weights[k] = w_k
                 logits = stacked.head(z)
                 optimizer.zero_grad()
                 total, per_seed = seed_prediction_loss(

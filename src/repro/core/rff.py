@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RandomFourierFeatures"]
+__all__ = ["RandomFourierFeatures", "map_features_many"]
 
 
 class RandomFourierFeatures:
@@ -81,3 +81,49 @@ class RandomFourierFeatures:
         phi = self.rng.uniform(0.0, 2.0 * np.pi, size=(d, self.num_functions))
         # (n, d, Q): sqrt(2) cos(w_dq * z_nd + phi_dq)
         return np.sqrt(2.0) * np.cos(selected[:, :, None] * w[None, :, :] + phi[None, :, :])
+
+
+def map_features_many(rffs, z: np.ndarray) -> np.ndarray:
+    """Apply K samplers to a ``(K, n, d)`` stack with one fused cosine map.
+
+    Per-seed randomness is untouched — sampler ``k`` draws its column
+    selection, frequencies and phases from its own rng in exactly the
+    order ``rffs[k](z[k])`` would — but the expensive part, the cosine
+    feature map, runs once over the whole stack.  Since the map is purely
+    elementwise, the result is bitwise identical to stacking K separate
+    calls (the seed-batched inner loop leans on this for its parity with
+    sequential loops).  All samplers must share ``num_functions``,
+    ``fraction`` and ``linear`` so the per-seed feature blocks stack.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 3 or z.shape[0] != len(rffs):
+        raise ValueError(f"expected ({len(rffs)}, n, d) representations, got shape {z.shape}")
+    lead = rffs[0]
+    for rff in rffs:
+        if (rff.num_functions, rff.fraction, rff.linear) != (
+            lead.num_functions, lead.fraction, lead.linear
+        ):
+            raise ValueError("all samplers must share num_functions/fraction/linear")
+    dim = z.shape[2]
+    if lead.fraction >= 1.0:
+        # select_dimensions is the identity and draws nothing: share the
+        # input stack instead of materialising K column copies.
+        selected = z
+    else:
+        selected = np.stack([z[k][:, rff.select_dimensions(dim)] for k, rff in enumerate(rffs)])
+    if lead.linear:
+        return selected[:, :, :, None]
+    d = selected.shape[2]
+    w = np.empty((len(rffs), d, lead.num_functions))
+    phi = np.empty_like(w)
+    for k, rff in enumerate(rffs):
+        w[k] = rff.rng.normal(0.0, 1.0, size=(d, rff.num_functions))
+        phi[k] = rff.rng.uniform(0.0, 2.0 * np.pi, size=(d, rff.num_functions))
+    # The per-seed map, fused in place over the stack (same elementwise op
+    # chain as __call__, so each slice stays bitwise identical to it).
+    out = np.empty(selected.shape + (lead.num_functions,))
+    np.multiply(selected[:, :, :, None], w[:, None, :, :], out=out)
+    out += phi[:, None, :, :]
+    np.cos(out, out=out)
+    out *= np.sqrt(2.0)
+    return out

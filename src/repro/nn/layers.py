@@ -14,6 +14,8 @@ matching stacked module via a type-dispatched registry that other layers
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
@@ -38,7 +40,19 @@ __all__ = [
     "SeedMLP",
     "register_seed_stacker",
     "stack_seed_modules",
+    "try_stack_seed_modules",
+    "SeedStackingError",
 ]
+
+
+class SeedStackingError(TypeError):
+    """A module roster has no seed-stacked variant (or is heterogeneous).
+
+    Subclasses ``TypeError`` for backwards compatibility; kept distinct so
+    :func:`try_stack_seed_modules` downgrades only this signal to a warned
+    sequential fallback — an accidental ``TypeError`` raised from inside a
+    registered stacker still propagates as the bug it is.
+    """
 
 _ACTIVATIONS = {}
 
@@ -320,18 +334,51 @@ def stack_seed_modules(modules: list[Module]) -> Module:
     template = modules[0]
     for m in modules[1:]:
         if type(m) is not type(template):
-            raise TypeError(
+            raise SeedStackingError(
                 f"cannot stack heterogeneous modules: {type(template).__name__} vs {type(m).__name__}"
             )
     for klass in type(template).__mro__:
         stacker = _SEED_STACKERS.get(klass)
         if stacker is not None:
             return stacker(modules)
-    raise TypeError(
+    raise SeedStackingError(
         f"no multi-seed stacker registered for {type(template).__name__}; "
         "batched seed training supports Linear/BatchNorm1d/MLP-based encoders "
         "(GIN, GCN) — run other architectures with batched=False"
     )
+
+
+_SEQUENTIAL_FALLBACK_WARNED: set[str] = set()
+
+
+def try_stack_seed_modules(modules: list[Module]) -> Module | None:
+    """:func:`stack_seed_modules`, or ``None`` plus a one-time warning.
+
+    The multi-seed trainers use this to downgrade gracefully: when a
+    roster has no seed-stacked variant (attention, virtual-node and
+    hierarchical-pooling encoders), they fall back to K sequential runs
+    instead of crashing — but never silently.  The warning names the
+    unsupported encoder (via the registry's :class:`SeedStackingError`)
+    and is emitted once per encoder type per process, so a long sweep
+    logs one line, not one per batch.  Any other exception — including a
+    plain ``TypeError`` from a buggy stacker — propagates.
+    """
+    modules = list(modules)
+    try:
+        return stack_seed_modules(modules)
+    except SeedStackingError as err:
+        template = modules[0] if modules else None
+        encoder = getattr(template, "encoder", template)
+        key = f"{type(template).__name__}/{type(encoder).__name__}"
+        if key not in _SEQUENTIAL_FALLBACK_WARNED:
+            _SEQUENTIAL_FALLBACK_WARNED.add(key)
+            warnings.warn(
+                f"multi-seed batching unavailable for {type(encoder).__name__} "
+                f"({err}); falling back to sequential per-seed training",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return None
 
 
 class SeedLinear(Module):

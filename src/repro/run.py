@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="train all seeds as one vectorised job (fixed dataset, per-seed init; "
         f"supported methods: {', '.join(BATCHED_SEED_METHODS)})",
     )
+    parser.add_argument(
+        "--sequential-reweight",
+        action="store_true",
+        help="with --batched-seeds and ood-gnn: run Algorithm 1's inner sample-weight "
+        "loops one seed at a time instead of as one seed-batched job (escape hatch / "
+        "parity reference)",
+    )
     parser.add_argument("--list", action="store_true", help="list datasets and methods, then exit")
     return parser
 
@@ -74,7 +81,9 @@ def main(argv=None) -> int:
     )
     factory = lambda seed: load_dataset(args.dataset, seed=seed, scale=args.scale)
     result = run_method_multi_seed(
-        args.method, factory, tuple(range(args.seeds)), protocol, batched=args.batched_seeds
+        args.method, factory, tuple(range(args.seeds)), protocol,
+        batched=args.batched_seeds,
+        batched_reweight=not args.sequential_reweight,
     )
 
     mode = " [batched]" if args.batched_seeds else ""

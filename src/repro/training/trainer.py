@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.graph.data import Graph
-from repro.nn.layers import stack_seed_modules
+from repro.nn.layers import try_stack_seed_modules
 from repro.nn.losses import weighted_prediction_loss, seed_prediction_loss
 from repro.nn.optim import Adam, clip_grad_norm, clip_grad_norm_per_seed
 from repro.training.loop import iterate_minibatches, evaluate_model, evaluate_model_per_seed
@@ -173,8 +173,11 @@ class Trainer:
         batched:
             ``True`` (default) stacks the K models along a leading seed
             axis and trains them in one vectorised job; ``False`` runs K
-            plain sequential :meth:`fit` calls — the parity reference (and
-            the fallback for architectures without seed-stacked variants).
+            plain sequential :meth:`fit` calls — the parity reference.
+            Architectures without seed-stacked variants (attention,
+            virtual-node, hierarchical pooling) downgrade to the
+            sequential path with a one-time ``RuntimeWarning`` naming the
+            encoder.
 
         Both paths consume identical copies of this trainer's rng for
         mini-batch shuffling, so under deterministic settings (no dropout)
@@ -190,16 +193,18 @@ class Trainer:
         models = [model_factory(seed) for seed in seeds]
         base_rng = copy.deepcopy(self.rng)
         cfg = replace(self.config, patience=0)
-        if not batched:
+        stacked = try_stack_seed_modules(models) if batched else None
+        if stacked is None:
             histories = []
             for model in models:
                 sub = Trainer(model, self.task_type, cfg, copy.deepcopy(base_rng), metric=self.metric)
                 histories.append(sub.fit(train_graphs, valid_graphs))
             return MultiSeedResult(seeds=seeds, models=models, histories=histories)
-        return self._fit_many_batched(models, seeds, cfg, train_graphs, valid_graphs, copy.deepcopy(base_rng))
+        return self._fit_many_batched(
+            stacked, models, seeds, cfg, train_graphs, valid_graphs, copy.deepcopy(base_rng)
+        )
 
-    def _fit_many_batched(self, models, seeds, cfg, train_graphs, valid_graphs, rng) -> MultiSeedResult:
-        stacked = stack_seed_modules(models)
+    def _fit_many_batched(self, stacked, models, seeds, cfg, train_graphs, valid_graphs, rng) -> MultiSeedResult:
         params = stacked.parameters()
         optimizer = Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
         histories = [TrainingHistory() for _ in models]

@@ -19,6 +19,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--dataset", "proteins25", "--method", "transformer"])
 
+    def test_reweight_flags(self):
+        args = build_parser().parse_args(
+            ["--dataset", "proteins25", "--batched-seeds", "--sequential-reweight"]
+        )
+        assert args.batched_seeds and args.sequential_reweight
+        assert not build_parser().parse_args(["--dataset", "proteins25"]).sequential_reweight
+
 
 class TestMain:
     def test_list_mode(self, capsys):

@@ -21,7 +21,7 @@ from repro.core import (
     RandomFourierFeatures,
     SampleWeightLearner,
 )
-from repro.core.fused import DUAL_MODE_MAX_GRAM_ELEMENTS
+from repro.core.fused import DUAL_MODE_AUTO_MAX_GRAM_ELEMENTS
 from repro.core.hsic import cached_block_offdiagonal_mask, pairwise_decorrelation_loss
 from repro.graph.generators import erdos_renyi
 from repro.nn.optim import Adam
@@ -103,8 +103,8 @@ class TestEngineParity:
         rng = np.random.default_rng(0)
         assert FusedDecorrelation(rng.normal(size=(16, 4, 2)), mode="auto").mode == "dual"
         assert FusedDecorrelation(rng.normal(size=(100, 3, 1)), mode="auto").mode == "primal"
-        big_n = int(np.sqrt(DUAL_MODE_MAX_GRAM_ELEMENTS)) + 1
-        assert big_n > 8 * 6  # memory cap aside, ratio rule already picks primal
+        big_n = int(np.sqrt(DUAL_MODE_AUTO_MAX_GRAM_ELEMENTS)) + 1
+        assert big_n > 8 * 6  # memory preference aside, ratio rule already picks primal
         assert FusedDecorrelation(rng.normal(size=(big_n, 3, 2)), mode="auto").mode == "primal"
 
     def test_input_validation(self):
