@@ -16,6 +16,9 @@ from-scratch numpy stack:
 * :mod:`repro.training` — metrics and training harness, including the
   batched multi-seed engine (``Trainer.fit_many``).
 * :mod:`repro.bench` — the experiment protocol behind ``benchmarks/``.
+* :mod:`repro.serve` — deployment: self-describing model artifacts, the
+  micro-batched tape-free inference engine, energy-based OOD scoring,
+  and the ``python -m repro.serve`` entry point.
 
 ``README.md`` is the user-facing tour; ``docs/ARCHITECTURE.md`` documents
 the package layering, the closed-form reweighting mathematics and the

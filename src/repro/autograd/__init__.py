@@ -14,7 +14,7 @@ paper's training loops need:
   verification used heavily by the test suite.
 """
 
-from repro.autograd.tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from repro.autograd.tensor import Tensor, as_tensor, no_grad, inference_mode, is_grad_enabled
 from repro.autograd import functional
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = ["Tensor", "as_tensor", "no_grad", "inference_mode", "is_grad_enabled", "functional"]

@@ -16,6 +16,8 @@ two plus bookkeeping.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, maximum, stack, where
@@ -85,11 +87,30 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     _scipy_sparse = None
     _csc_matvecs = None
 
-# Tiny identity-keyed memo for scatter operators: within one mini-batch the
-# same dst/src index arrays drive every conv layer's scatter, so the CSC
-# construction is paid once per batch instead of once per layer.
+# Tiny memo for scatter operators: within one mini-batch the same dst/src
+# index arrays drive every conv layer's scatter, so the CSC construction is
+# paid once per batch instead of once per layer.  Keyed on the view's
+# underlying buffer (data pointer, shape, strides) rather than object
+# identity: ``src, dst = edge_index`` creates *new* view objects per layer
+# and per forward, but they alias the same stable buffer — identity keying
+# missed on every one of them (the dominant cost of the tape-free serving
+# forward).  Each entry keeps a strong reference to its index array (so the
+# buffer cannot be freed out from under a cached key) plus a snapshot copy
+# of the indices; a hit revalidates against the snapshot, so mutating a
+# cached index buffer in place (e.g. rewriting ``edge_index`` between
+# forwards) is a cache miss, never a stale operator.  The equality check is
+# a contiguous int compare — ~2 orders of magnitude cheaper than the CSC
+# build it guards.  Access is lock-guarded: the serving engine's worker
+# thread runs forwards concurrently with main-thread predict/training, and
+# an unguarded insert racing the eviction's dict iteration would throw
+# mid-forward.
 _SCATTER_CACHE: dict = {}
 _SCATTER_CACHE_MAX = 8
+_SCATTER_CACHE_LOCK = threading.Lock()
+
+
+def _scatter_key(ids: np.ndarray, num_rows: int):
+    return (ids.__array_interface__["data"][0], ids.shape[0], ids.strides, ids.dtype.str, num_rows)
 
 
 def _checked_ids(ids: np.ndarray, num_rows: int) -> np.ndarray:
@@ -116,17 +137,19 @@ def _scatter_matrix(ids: np.ndarray, num_rows: int):
     ``m @ values`` accumulates ``values`` rows into their ``ids`` buckets
     in index order — the same semantics (and order) as ``np.add.at``.
     """
-    key = (id(ids), num_rows)
-    entry = _SCATTER_CACHE.get(key)
-    if entry is not None and entry[0] is ids:
-        return entry[1]
+    key = _scatter_key(ids, num_rows)
+    with _SCATTER_CACHE_LOCK:
+        entry = _SCATTER_CACHE.get(key)
+        if entry is not None and np.array_equal(entry[2], ids):
+            return entry[1]
     n = len(ids)
     mat = _scipy_sparse.csc_matrix(
         (np.ones(n), _checked_ids(ids, num_rows), np.arange(n + 1)), shape=(num_rows, n)
     )
-    if len(_SCATTER_CACHE) >= _SCATTER_CACHE_MAX:
-        _SCATTER_CACHE.pop(next(iter(_SCATTER_CACHE)))
-    _SCATTER_CACHE[key] = (ids, mat)
+    with _SCATTER_CACHE_LOCK:
+        if entry is None and len(_SCATTER_CACHE) >= _SCATTER_CACHE_MAX:
+            _SCATTER_CACHE.pop(next(iter(_SCATTER_CACHE)))
+        _SCATTER_CACHE[key] = (ids, mat, ids.copy())
     return mat
 
 
@@ -187,7 +210,7 @@ def segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:
     out_data = np.zeros(out_shape, dtype=np.float64)
     scatter_add_rows(out_data, ids, x.data)
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
     return Tensor._make(out_data, [(x, lambda g: g[ids])])
 
 
@@ -215,7 +238,7 @@ def segment_max(x: Tensor, segment_ids, num_segments: int, empty_value: float = 
     empty = ~np.isfinite(out_data)
     out_data[empty] = empty_value
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
 
     def grad_fn(g):
         # A row contributes iff it equals its segment's max; split gradient
@@ -263,7 +286,7 @@ def weighted_gram(features, weights, features_j=None, ddof: int = 1) -> Tensor:
 
     tracked = [t for t in ((fi, fj, w) if not same else (fi, w)) if t.requires_grad or t._parents]
     if not (is_grad_enabled() and tracked):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
 
     # The centred adjoints are shared by every parent's closure; memoise
     # them per output gradient (identity-keyed, with a strong reference so
@@ -313,7 +336,7 @@ def masked_frobenius(matrix, mask) -> Tensor:
     masked = m.data * mk
     out_data = np.asarray(0.5 * np.vdot(masked, masked))
     if not (is_grad_enabled() and (m.requires_grad or m._parents)):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
     return Tensor._make(out_data, [(m, lambda g: g * mk * masked)])
 
 
@@ -364,7 +387,7 @@ def seed_linear(x, weight, bias=None) -> Tensor:
 
     tracked = [t for t in (xt, wt, bt) if t is not None and (t.requires_grad or t._parents)]
     if not (is_grad_enabled() and tracked):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
 
     def grad_x(g):
         # g: (K, n, h).  Shared inputs accumulate over the seed axis.
@@ -401,7 +424,7 @@ def seed_gather(x: Tensor, index: np.ndarray) -> Tensor:
         # bounds-checked path; _checked_ids validated the indices above.
         np.take(xd[k], index, axis=0, out=out_data[k], mode="clip")
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
     shape = x.shape
 
     def grad_fn(g):
@@ -442,7 +465,7 @@ def seed_segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:
         for k in range(num_seeds):
             scatter_add_rows(out_data[k], ids, xd[k])
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
 
     def grad_fn(g):
         full = np.empty(x.shape)

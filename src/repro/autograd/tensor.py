@@ -37,6 +37,25 @@ def no_grad():
         _state.grad_enabled = previous
 
 
+@contextlib.contextmanager
+def inference_mode():
+    """Tape-free forward context — the serving hot path (see ``docs/ARCHITECTURE.md``).
+
+    Inside this context every operation takes its no-tape fast path: results
+    are built by :meth:`Tensor._wrap`, which skips tape-node allocation,
+    closure creation, ``requires_grad`` bookkeeping, and the dtype coercion
+    of the full constructor.  Outputs are arithmetically *and bitwise*
+    identical to the taped forward (``tests/test_tape_free.py``); calling
+    :meth:`Tensor.backward` on a result raises a clear error.
+
+    Semantically equivalent to :func:`no_grad` (delegates to it, so they
+    nest freely and can never drift apart); the separate name marks the
+    inference/serving entry points, mirroring ``torch.inference_mode``.
+    """
+    with no_grad():
+        yield
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """Reduce ``grad`` so that it matches ``shape`` after a broadcast op.
 
@@ -87,12 +106,32 @@ class Tensor:
             arr = arr.astype(np.float64, copy=False)
         elif requires_grad:
             arr = arr.astype(np.float64)
+        enabled = is_grad_enabled()
         self.data = arr
         self.grad = None
-        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.requires_grad = bool(requires_grad) and enabled
         # List of (parent_tensor, grad_fn) pairs; grad_fn: ndarray -> ndarray.
-        self._parents = _parents if (_parents and is_grad_enabled()) else []
+        self._parents = _parents if (_parents and enabled) else []
         self.name = name
+
+    @staticmethod
+    def _wrap(data) -> "Tensor":
+        """Fast no-tape constructor for operation results.
+
+        Every no-tape branch below returns through here: the operand data is
+        already a fresh ndarray produced by a numpy op, so the full
+        constructor's coercion (``asarray`` round-trip, dtype-kind check,
+        ``astype``) and grad-mode bookkeeping are skipped.  This is the
+        tape-free inference hot path — under :func:`inference_mode` a
+        forward allocates exactly one slim Tensor per op and nothing else.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.grad = None
+        out.requires_grad = False
+        out._parents = ()
+        out.name = ""
+        return out
 
     # ------------------------------------------------------------------
     # Introspection
@@ -174,7 +213,22 @@ class Tensor:
         grad:
             Gradient of the final objective w.r.t. this tensor.  Defaults
             to ``1`` which requires this tensor to be a scalar.
+
+        Raises
+        ------
+        RuntimeError
+            When this tensor carries no autograd history — typically
+            because the forward ran inside :func:`no_grad` /
+            :func:`inference_mode` (the tape-free serving path), or
+            because no input required grad.
         """
+        if not self._parents and not self.requires_grad:
+            raise RuntimeError(
+                "backward() called on a tensor with no autograd history: the "
+                "forward ran with the tape disabled (no_grad()/inference_mode()) "
+                "or none of its inputs had requires_grad=True; re-run the "
+                "forward outside the tape-free context to train"
+            )
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
@@ -232,7 +286,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data + other.data
         if not self._needs_tape(other):
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(
             out_data,
             [
@@ -245,7 +299,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         if not self._needs_tape():
-            return Tensor(-self.data)
+            return Tensor._wrap(-self.data)
         return self._make(-self.data, [(self, lambda g: -g)])
 
     def __sub__(self, other) -> "Tensor":
@@ -258,7 +312,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data * other.data
         if not self._needs_tape(other):
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         a_data, b_data = self.data, other.data
         return self._make(
             out_data,
@@ -274,7 +328,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data / other.data
         if not self._needs_tape(other):
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         a_data, b_data = self.data, other.data
         return self._make(
             out_data,
@@ -292,7 +346,7 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         base = self.data
         return self._make(
             out_data,
@@ -303,7 +357,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data @ other.data
         if not self._needs_tape(other):
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         a_data, b_data = self.data, other.data
 
         def grad_a(g):
@@ -342,14 +396,14 @@ class Tensor:
         """Elementwise exponential."""
         out_data = np.exp(self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(out_data, [(self, lambda g: g * out_data)])
 
     def log(self) -> "Tensor":
         """Elementwise natural logarithm."""
         out_data = np.log(self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         base = self.data
         return self._make(out_data, [(self, lambda g: g / base)])
 
@@ -357,14 +411,14 @@ class Tensor:
         """Elementwise square root."""
         out_data = np.sqrt(self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(out_data, [(self, lambda g: g * 0.5 / out_data)])
 
     def abs(self) -> "Tensor":
         """Elementwise absolute value (subgradient sign(x))."""
         out_data = np.abs(self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         sign = np.sign(self.data)
         return self._make(out_data, [(self, lambda g: g * sign)])
 
@@ -372,21 +426,21 @@ class Tensor:
         """Elementwise hyperbolic tangent."""
         out_data = np.tanh(self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(out_data, [(self, lambda g: g * (1.0 - out_data**2))])
 
     def sigmoid(self) -> "Tensor":
         """Elementwise logistic sigmoid (input clipped for stability)."""
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(out_data, [(self, lambda g: g * out_data * (1.0 - out_data))])
 
     def relu(self) -> "Tensor":
         """Elementwise max(x, 0)."""
         out_data = np.maximum(self.data, 0.0)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         mask = self.data > 0
         return self._make(out_data, [(self, lambda g: g * mask)])
 
@@ -395,14 +449,14 @@ class Tensor:
         factor = np.where(self.data > 0, 1.0, negative_slope)
         out_data = self.data * factor
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(out_data, [(self, lambda g: g * factor)])
 
     def cos(self) -> "Tensor":
         """Elementwise cosine."""
         out_data = np.cos(self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         base = self.data
         return self._make(out_data, [(self, lambda g: -g * np.sin(base))])
 
@@ -410,7 +464,7 @@ class Tensor:
         """Elementwise sine."""
         out_data = np.sin(self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         base = self.data
         return self._make(out_data, [(self, lambda g: g * np.cos(base))])
 
@@ -418,7 +472,7 @@ class Tensor:
         """Clamp values to [low, high]; gradient is zero outside."""
         out_data = np.clip(self.data, low, high)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         mask = np.ones_like(self.data)
         if low is not None:
             mask = mask * (self.data >= low)
@@ -431,7 +485,7 @@ class Tensor:
         # Numerically stable log(1 + exp(x)).
         out_data = np.logaddexp(0.0, self.data)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
         return self._make(out_data, [(self, lambda g: g * sig)])
 
@@ -442,7 +496,7 @@ class Tensor:
         """Sum over ``axis`` (all elements when None)."""
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         shape = self.shape
 
         def grad_fn(g):
@@ -475,7 +529,7 @@ class Tensor:
         """Maximum over ``axis``; ties split the gradient evenly."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         base = self.data
 
         def grad_fn(g):
@@ -503,7 +557,7 @@ class Tensor:
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         original = self.shape
         return self._make(out_data, [(self, lambda g: g.reshape(original))])
 
@@ -511,7 +565,7 @@ class Tensor:
         """Permute axes (defaults to full reversal)."""
         out_data = self.data.transpose(axes)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         if axes is None:
             inverse = None
         else:
@@ -523,30 +577,54 @@ class Tensor:
         out_data = self.data.squeeze(axis)
         original = self.shape
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(out_data, [(self, lambda g: g.reshape(original))])
 
     def unsqueeze(self, axis: int) -> "Tensor":
         """Insert a length-1 axis at ``axis``."""
         out_data = np.expand_dims(self.data, axis)
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(out_data, [(self, lambda g: np.squeeze(g, axis=axis))])
 
     def broadcast_to(self, shape) -> "Tensor":
         """Broadcast to ``shape``; the adjoint sums over broadcast axes."""
         out_data = np.broadcast_to(self.data, shape)
         if not self._needs_tape():
-            return Tensor(out_data.copy())
+            return Tensor._wrap(out_data.copy())
         original = self.shape
         return self._make(out_data.copy(), [(self, lambda g: _unbroadcast(g, original))])
 
     def __getitem__(self, index) -> "Tensor":
         if isinstance(index, Tensor):
             index = index.data
+        if (
+            isinstance(index, np.ndarray)
+            and index.ndim == 1
+            and index.dtype.kind in "iu"
+            and index.size
+            and not self._needs_tape()
+        ):
+            # Row-gather fast path (message passing under inference_mode):
+            # np.take with mode="clip" skips ufunc buffering, ~4x faster
+            # than fancy indexing at packed-batch shapes.  Numpy's indexing
+            # semantics (bounds errors, negative wrap) are enforced first,
+            # and the copied values are identical to ``self.data[index]``.
+            data = self.data
+            n = data.shape[0]
+            lo, hi = int(index.min()), int(index.max())
+            if hi >= n or lo < -n:
+                raise IndexError(
+                    f"index out of bounds for axis 0 with size {n}: range [{lo}, {hi}]"
+                )
+            if lo < 0:
+                index = np.where(index < 0, index + n, index)
+            out_data = np.empty((index.size,) + data.shape[1:], dtype=data.dtype)
+            np.take(data, index, axis=0, out=out_data, mode="clip")
+            return Tensor._wrap(out_data)
         out_data = self.data[index]
         if not self._needs_tape():
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         shape = self.shape
 
         def grad_fn(g):
@@ -578,7 +656,7 @@ class Tensor:
         out_data = self.data.copy()
         np.add.at(out_data, index, source.data)
         if not self._needs_tape(source):
-            return Tensor(out_data)
+            return Tensor._wrap(out_data)
         return self._make(
             out_data,
             [(self, lambda g: g), (source, lambda g: g[index])],
@@ -590,7 +668,7 @@ def concatenate(tensors, axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     if not any(t.requires_grad or t._parents for t in tensors) or not is_grad_enabled():
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -619,7 +697,7 @@ def where(condition: np.ndarray, a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
     out_data = np.where(condition, a.data, b.data)
     if not (is_grad_enabled() and (a.requires_grad or a._parents or b.requires_grad or b._parents)):
-        return Tensor(out_data)
+        return Tensor._wrap(out_data)
     return Tensor._make(
         out_data,
         [

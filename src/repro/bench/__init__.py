@@ -4,6 +4,7 @@ from repro.bench.runner import (
     ExperimentProtocol,
     run_method,
     run_method_multi_seed,
+    method_spec,
     MethodResult,
     BATCHED_SEED_METHODS,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "ExperimentProtocol",
     "run_method",
     "run_method_multi_seed",
+    "method_spec",
     "MethodResult",
     "BATCHED_SEED_METHODS",
     "format_table",

@@ -36,6 +36,7 @@ __all__ = [
     "MethodResult",
     "run_method",
     "run_method_multi_seed",
+    "method_spec",
     "BATCHED_SEED_METHODS",
 ]
 
@@ -59,13 +60,20 @@ class ExperimentProtocol:
 
 @dataclass
 class MethodResult:
-    """Mean/std of train and per-test-split metrics over seeds."""
+    """Mean/std of train and per-test-split metrics over seeds.
+
+    ``models``/``seeds`` are populated only when the experiment ran with
+    ``keep_models=True`` (the artifact-export path of ``repro.run``);
+    plain benchmark sweeps keep them empty so trained models are freed.
+    """
 
     method: str
     train_mean: float
     train_std: float
     test_mean: dict
     test_std: dict
+    seeds: tuple = ()
+    models: list = field(default_factory=list)
 
     def row(self, split: str) -> str:
         """``mean±std`` cell for the given test split."""
@@ -83,6 +91,17 @@ def run_method(
     ``method`` is either ``"ood-gnn"`` or a baseline name accepted by
     :func:`repro.encoders.build_model`.
     """
+    _trainer, train_metric, test_metrics = _run_method_trainer(method, dataset, seed, protocol)
+    return train_metric, test_metrics
+
+
+def _run_method_trainer(
+    method: str,
+    dataset: DatasetSplits,
+    seed: int,
+    protocol: ExperimentProtocol,
+):
+    """:func:`run_method`, but also hands back the trainer (for model export)."""
     info = dataset.info
     model_rng = np.random.default_rng((seed + 1) * 7919)
     train_rng = np.random.default_rng((seed + 1) * 104729)
@@ -120,7 +139,7 @@ def run_method(
         trainer.fit(dataset.train, dataset.valid)
     train_metric = trainer.evaluate(dataset.train)
     test_metrics = {name: trainer.evaluate(split) for name, split in dataset.tests.items()}
-    return train_metric, test_metrics
+    return trainer, train_metric, test_metrics
 
 
 _FALLBACK_WARNED: set[str] = set()
@@ -139,6 +158,26 @@ def _warn_sequential_fallback(method: str) -> None:
         )
 
 
+def method_spec(method: str, protocol: ExperimentProtocol):
+    """The serving :class:`~repro.serve.artifact.ModelSpec` of one experiment.
+
+    Mirrors exactly how :func:`run_method` constructs the model, so an
+    artifact exported with this spec rebuilds the same architecture.
+    Dataset-dependent constants (PNA's degree scale) travel as model
+    buffers, not spec fields.
+    """
+    from repro.serve.artifact import ModelSpec
+
+    if method == "ood-gnn":
+        cfg = OODGNNConfig(
+            hidden_dim=protocol.hidden_dim,
+            num_layers=protocol.num_layers,
+            **protocol.ood_overrides,
+        )
+        return ModelSpec.for_ood_gnn(cfg)
+    return ModelSpec(method=method, hidden_dim=protocol.hidden_dim, num_layers=protocol.num_layers)
+
+
 def run_method_multi_seed(
     method: str,
     dataset_factory,
@@ -146,6 +185,7 @@ def run_method_multi_seed(
     protocol: ExperimentProtocol,
     batched: bool = False,
     batched_reweight: bool = True,
+    keep_models: bool = False,
 ) -> MethodResult:
     """Repeat :func:`run_method` over seeds with fresh datasets per seed.
 
@@ -164,22 +204,25 @@ def run_method_multi_seed(
     (see :data:`BATCHED_SEED_METHODS`) fall back to the sequential path
     with a one-time ``RuntimeWarning``.
     """
+    seeds = tuple(seeds)
     if batched and method in BATCHED_SEED_METHODS:
         return _run_method_multi_seed_batched(
-            method, dataset_factory, tuple(seeds), protocol, batched_reweight
+            method, dataset_factory, seeds, protocol, batched_reweight, keep_models
         )
     if batched:
         _warn_sequential_fallback(method)
-    trains, tests = [], []
+    trains, tests, models = [], [], []
     for seed in seeds:
         dataset = dataset_factory(seed)
-        train_metric, test_metrics = run_method(method, dataset, seed, protocol)
+        trainer, train_metric, test_metrics = _run_method_trainer(method, dataset, seed, protocol)
         trains.append(train_metric)
         tests.append(test_metrics)
-    return _collect(method, trains, tests)
+        if keep_models:
+            models.append(trainer.model)
+    return _collect(method, trains, tests, seeds=seeds if keep_models else (), models=models)
 
 
-def _collect(method: str, trains: list, tests: list) -> MethodResult:
+def _collect(method: str, trains: list, tests: list, seeds: tuple = (), models: list | None = None) -> MethodResult:
     split_names = tests[0].keys()
     return MethodResult(
         method=method,
@@ -187,6 +230,8 @@ def _collect(method: str, trains: list, tests: list) -> MethodResult:
         train_std=float(np.std(trains)),
         test_mean={s: float(np.mean([t[s] for t in tests])) for s in split_names},
         test_std={s: float(np.std([t[s] for t in tests])) for s in split_names},
+        seeds=seeds,
+        models=models or [],
     )
 
 
@@ -196,6 +241,7 @@ def _run_method_multi_seed_batched(
     seeds: tuple,
     protocol: ExperimentProtocol,
     batched_reweight: bool = True,
+    keep_models: bool = False,
 ) -> MethodResult:
     """All seeds of one method as a single seed-stacked training job."""
     dataset = dataset_factory(seeds[0])
@@ -254,4 +300,8 @@ def _run_method_multi_seed_batched(
         for name, split in dataset.tests.items()
     }
     tests = [{name: scores[k] for name, scores in tests_per_split.items()} for k in range(len(seeds))]
-    return _collect(method, trains, tests)
+    return _collect(
+        method, trains, tests,
+        seeds=seeds if keep_models else (),
+        models=result.models if keep_models else [],
+    )

@@ -439,3 +439,21 @@ class OODGNNTrainer:
     def evaluate(self, graphs: list[Graph], metric: str | None = None) -> float:
         """Metric of the trained model (testing stage uses Phi*, R* as-is)."""
         return evaluate_model(self.model, graphs, metric or self.metric)
+
+    def export_artifact(self, path, schema, spec=None, metadata: dict | None = None):
+        """Save the trained OOD-GNN as a deployable serving artifact.
+
+        The :class:`~repro.serve.artifact.ModelSpec` is derived from the
+        trainer's config when not given explicitly (the architecture is
+        fully determined by ``hidden_dim`` / ``num_layers`` / ``readout``
+        / ``dropout``); ``schema`` is the dataset's
+        :class:`~repro.serve.artifact.FeatureSchema`.  Returns the path
+        written.
+        """
+        from repro.serve.artifact import ModelArtifact, ModelSpec
+
+        if self.model is None:
+            raise ValueError("trainer has no model to export (fit_many results export via MultiSeedResult)")
+        if spec is None:
+            spec = ModelSpec.for_ood_gnn(self.config)
+        return ModelArtifact.from_model(self.model, spec, schema, metadata=metadata).save(path)

@@ -60,7 +60,15 @@ class GINConv(Module):
         src, dst = edge_index if edge_index.size else (np.zeros(0, dtype=np.int64),) * 2
         aggregated = segment_sum(x[src], dst, num_nodes) if edge_index.size else x * 0.0
         if self.eps is not None:
-            combined = x * (self.eps + 1.0) + aggregated
+            if not is_grad_enabled():
+                # Tape-free fast path: same ops ((1 + eps) * x, then
+                # + aggregated) accumulated in place — bitwise equal to
+                # the taped chain with one fewer full-size temporary.
+                combined_data = x.data * (self.eps.data + 1.0)
+                combined_data += aggregated.data
+                combined = Tensor._wrap(combined_data)
+            else:
+                combined = x * (self.eps + 1.0) + aggregated
         else:
             combined = x + aggregated
         return self.mlp(combined)
@@ -167,6 +175,11 @@ class PNAConv(Module):
         computed once per dataset via
         :func:`repro.encoders.models.compute_pna_degree_scale`.
     """
+
+    # The train-set delta is dataset state, not architecture: declaring it
+    # a buffer makes it travel with checkpoints/artifacts, so a PNA model
+    # rebuilt from a spec serves with the exact delta it trained with.
+    _buffer_names = ("degree_scale",)
 
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, degree_scale: float = 1.0):
         super().__init__()

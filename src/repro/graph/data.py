@@ -48,10 +48,15 @@ class Graph:
         if self.x.ndim == 1:
             self.x = self.x[:, None]
         self.edge_index = np.asarray(self.edge_index, dtype=np.int64).reshape(2, -1)
-        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
-            raise ValueError(
-                f"edge index {self.edge_index.max()} out of range for {self.num_nodes} nodes"
-            )
+        if self.edge_index.size:
+            lo, hi = int(self.edge_index.min()), int(self.edge_index.max())
+            # Negatives are rejected outright (not wrapped): batching adds
+            # node offsets to edge indices, so a -1 from one graph would
+            # silently resolve into another graph's nodes.
+            if lo < 0 or hi >= self.num_nodes:
+                raise ValueError(
+                    f"edge indices [{lo}, {hi}] out of range for {self.num_nodes} nodes"
+                )
 
     @property
     def num_nodes(self) -> int:

@@ -26,7 +26,15 @@ from repro.nn.losses import (
 )
 from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
 from repro.nn.schedulers import StepLR, CosineAnnealingLR, LinearWarmupLR
-from repro.nn.checkpoint import save_checkpoint, load_checkpoint
+from repro.nn.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    save_checkpoint,
+    load_checkpoint,
+    save_state,
+    load_state,
+    load_buffers,
+    load_archive,
+)
 from repro.nn import init
 
 __all__ = [
@@ -56,7 +64,12 @@ __all__ = [
     "StepLR",
     "CosineAnnealingLR",
     "LinearWarmupLR",
+    "CHECKPOINT_FORMAT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
+    "save_state",
+    "load_state",
+    "load_buffers",
+    "load_archive",
     "init",
 ]

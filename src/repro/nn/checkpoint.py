@@ -1,7 +1,23 @@
 """Checkpoint I/O: save and load model state dicts as ``.npz`` archives.
 
 Dotted parameter names are flattened into npz keys; metadata (e.g. the
-training config) rides along as a JSON string under a reserved key.
+training config) rides along as a JSON string under a reserved key, and
+non-trainable buffers (batch-norm running statistics, see
+:meth:`repro.nn.module.Module.buffer_dict`) under a reserved key prefix.
+
+Two API levels:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` operate on a live
+  :class:`~repro.nn.module.Module` (parameters + buffers).
+* :func:`save_state` / :func:`load_state` / :func:`load_buffers` operate
+  on raw dicts — no instantiated model needed.  The model-artifact layer
+  (:mod:`repro.serve.artifact`) builds on these to read a bundle's
+  metadata *before* constructing the model it describes.
+
+Format versioning: every archive written by this module carries
+``format_version`` (:data:`CHECKPOINT_FORMAT_VERSION`) in its metadata
+payload.  Version 1 files (pre-versioning: no buffers, no version field)
+load transparently; :func:`load_state` reports them as version 1.
 """
 
 from __future__ import annotations
@@ -13,45 +29,170 @@ import numpy as np
 
 from repro.nn.module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_state",
+    "load_state",
+    "load_buffers",
+    "load_archive",
+]
 
 _META_KEY = "__repro_meta__"
+_BUFFER_PREFIX = "__repro_buffer__:"
+
+#: Current archive layout.  2 added the version field and buffer entries.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
-def save_checkpoint(model: Module, path, metadata: dict | None = None) -> None:
-    """Write ``model.state_dict()`` (plus optional metadata) to ``path``.
+def _normalise_path(path) -> Path:
+    """Append ``.npz`` exactly once (``m`` -> ``m.npz``, ``m.npz`` unchanged).
+
+    ``m.ckpt`` becomes ``m.ckpt.npz`` — the suffix is appended to the full
+    name rather than substituted, so save and load agree on the target.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _resolve_existing(path) -> Path:
+    """The archive path to read: ``path`` as given, else with ``.npz`` appended."""
+    path = Path(path)
+    if not path.exists():
+        normalised = _normalise_path(path)
+        if normalised.exists():
+            return normalised
+    return path
+
+
+def save_state(
+    state: dict[str, np.ndarray],
+    path,
+    metadata: dict | None = None,
+    buffers: dict[str, np.ndarray] | None = None,
+) -> Path:
+    """Write a raw ``state`` dict (plus metadata and buffers) to ``path``.
+
+    Parameters
+    ----------
+    state:
+        Arrays keyed by dotted parameter name.
+    path:
+        Target file; ``.npz`` is appended exactly once if missing (the
+        former behaviour could double-append for non-``.npz`` suffixes
+        because ``np.savez`` adds its own).  Returns the path written.
+    metadata:
+        JSON-serialisable dict stored alongside the weights.  The
+        ``format_version`` key is managed by this module: it is injected
+        automatically, a matching value is tolerated (so
+        ``load_state`` -> ``save_state`` round-trips), and any other
+        value is rejected — this writer only produces the current format.
+    buffers:
+        Optional non-trainable arrays (running statistics), stored under
+        a reserved key prefix so they never collide with parameters.
+    """
+    metadata = dict(metadata or {})
+    existing_version = metadata.pop("format_version", None)
+    if existing_version is not None and existing_version != CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"cannot write metadata format_version {existing_version!r}; "
+            f"this build writes format_version {CHECKPOINT_FORMAT_VERSION}"
+        )
+    metadata["format_version"] = CHECKPOINT_FORMAT_VERSION
+    reserved = [k for k in state if k == _META_KEY or k.startswith(_BUFFER_PREFIX)]
+    if reserved:
+        raise ValueError(f"parameter names {reserved!r} use reserved checkpoint keys")
+    payload = dict(state)
+    for name, value in (buffers or {}).items():
+        payload[_BUFFER_PREFIX + name] = np.asarray(value)
+    payload[_META_KEY] = np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8)
+    path = _normalise_path(path)
+    # Write through an explicit handle so np.savez cannot append a second
+    # suffix (save_checkpoint("m.npz") used to risk writing m.npz.npz).
+    with open(path, "wb") as fh:
+        np.savez(fh, **payload)
+    return path
+
+
+def load_archive(path) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray], dict]:
+    """Read ``(state, buffers, metadata)`` from an archive in one pass.
+
+    The full reader behind :func:`load_state` / :func:`load_buffers` /
+    :func:`load_checkpoint`: one open, one zip-directory parse.
+    ``metadata`` includes ``format_version`` (1 for pre-versioning
+    archives, which carry no buffers).
+    """
+    path = _resolve_existing(path)
+    with np.load(path) as archive:
+        if _META_KEY in archive:
+            metadata = json.loads(bytes(archive[_META_KEY]).decode())
+        else:
+            metadata = {}
+        metadata.setdefault("format_version", 1)
+        state: dict[str, np.ndarray] = {}
+        buffers: dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                continue
+            if key.startswith(_BUFFER_PREFIX):
+                buffers[key[len(_BUFFER_PREFIX):]] = archive[key]
+            else:
+                state[key] = archive[key]
+    return state, buffers, metadata
+
+
+def load_state(path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read ``(state, metadata)`` from an archive without a model.
+
+    ``state`` holds only the parameters (buffers ride along via
+    :func:`load_archive` / :func:`load_buffers`); ``metadata`` is the
+    stored dict including ``format_version``.  This is the entry point
+    the model-artifact loader uses to inspect a bundle's spec before
+    constructing anything.
+    """
+    state, _buffers, metadata = load_archive(path)
+    return state, metadata
+
+
+def load_buffers(path) -> dict[str, np.ndarray]:
+    """Read the buffer entries of an archive (empty for version-1 files)."""
+    _state, buffers, _metadata = load_archive(path)
+    return buffers
+
+
+def save_checkpoint(model: Module, path, metadata: dict | None = None) -> Path:
+    """Write ``model.state_dict()`` (plus buffers and metadata) to ``path``.
 
     Parameters
     ----------
     model:
-        Any :class:`~repro.nn.module.Module`.
+        Any :class:`~repro.nn.module.Module`.  Declared buffers
+        (batch-norm running statistics) are stored too, so an eval-mode
+        forward is reproduced exactly after :func:`load_checkpoint`.
     path:
-        Target file; ``.npz`` is appended if missing.
+        Target file; ``.npz`` is appended exactly once if missing.
+        Returns the path written.
     metadata:
         JSON-serialisable dict stored alongside the weights.
     """
-    path = Path(path)
-    state = model.state_dict()
-    if _META_KEY in state:
-        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
-    payload = dict(state)
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode(), dtype=np.uint8
-    )
-    np.savez(path, **payload)
+    return save_state(model.state_dict(), path, metadata=metadata, buffers=model.buffer_dict())
 
 
 def load_checkpoint(model: Module, path) -> dict:
-    """Load weights saved by :func:`save_checkpoint` into ``model``.
+    """Load weights (and buffers) saved by :func:`save_checkpoint` into ``model``.
 
-    Returns the stored metadata dict.  Raises if parameter names or
-    shapes do not match the model (delegated to ``load_state_dict``).
+    Returns the stored user metadata dict (the internal ``format_version``
+    field is stripped).  Raises if parameter names or shapes do not match
+    the model (delegated to ``load_state_dict``).  Buffers are restored
+    strictly when the archive carries any; version-1 archives have none
+    and leave the model's buffers untouched.
     """
-    path = Path(path)
-    if not path.exists() and path.with_suffix(".npz").exists():
-        path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        metadata = json.loads(bytes(archive[_META_KEY]).decode()) if _META_KEY in archive else {}
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    state, buffers, metadata = load_archive(path)
+    metadata.pop("format_version", None)
     model.load_state_dict(state)
+    if buffers:
+        model.load_buffer_dict(buffers)
     return metadata

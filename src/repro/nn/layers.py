@@ -114,7 +114,16 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = as_tensor(x) @ self.weight
+        x = as_tensor(x)
+        if not is_grad_enabled():
+            # Tape-free fast path: same expression on raw arrays (x @ W,
+            # then + b), so the result is bitwise equal to the taped chain
+            # while skipping two op dispatches and their Tensor wrappers.
+            out = x.data @ self.weight.data
+            if self.bias is not None:
+                out += self.bias.data
+            return Tensor._wrap(out)
+        out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -180,6 +189,8 @@ class BatchNorm1d(Module):
     batched multi-seed training paths.
     """
 
+    _buffer_names = ("running_mean", "running_var")
+
     def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
         super().__init__()
         self.num_features = num_features
@@ -193,6 +204,17 @@ class BatchNorm1d(Module):
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
         if not (self.training and x.shape[0] > 1):
+            if not is_grad_enabled():
+                # Tape-free eval fast path: the same op sequence (centre,
+                # divide by sqrt(var + eps), scale, shift) applied in place
+                # on one output buffer — bitwise equal to the tensor chain
+                # below, with one allocation instead of four (the eval BN
+                # chain is memory-bound at packed-batch shapes).
+                out = x.data - self.running_mean
+                out /= np.sqrt(self.running_var + self.eps)
+                out *= self.gamma.data
+                out += self.beta.data
+                return Tensor._wrap(out)
             mean = Tensor(self.running_mean)
             var = Tensor(self.running_var)
             normalised = (x - mean) / (var + self.eps).sqrt()
@@ -351,17 +373,20 @@ def stack_seed_modules(modules: list[Module]) -> Module:
 _SEQUENTIAL_FALLBACK_WARNED: set[str] = set()
 
 
-def try_stack_seed_modules(modules: list[Module]) -> Module | None:
+def try_stack_seed_modules(modules: list[Module], context: str = "training") -> Module | None:
     """:func:`stack_seed_modules`, or ``None`` plus a one-time warning.
 
-    The multi-seed trainers use this to downgrade gracefully: when a
-    roster has no seed-stacked variant (attention, virtual-node and
-    hierarchical-pooling encoders), they fall back to K sequential runs
-    instead of crashing — but never silently.  The warning names the
-    unsupported encoder (via the registry's :class:`SeedStackingError`)
-    and is emitted once per encoder type per process, so a long sweep
-    logs one line, not one per batch.  Any other exception — including a
-    plain ``TypeError`` from a buggy stacker — propagates.
+    The multi-seed trainers (and the serving engine's seed-ensemble path)
+    use this to downgrade gracefully: when a roster has no seed-stacked
+    variant (attention, virtual-node and hierarchical-pooling encoders),
+    they fall back to K sequential passes instead of crashing — but never
+    silently.  The warning names the unsupported encoder (via the
+    registry's :class:`SeedStackingError`) and is emitted once per encoder
+    type *and context* per process, so a long sweep logs one line, not one
+    per batch.  ``context`` names the caller's workload in the message
+    (``"training"`` for the multi-seed trainers, ``"serving"`` for the
+    inference engine).  Any other exception — including a plain
+    ``TypeError`` from a buggy stacker — propagates.
     """
     modules = list(modules)
     try:
@@ -369,12 +394,12 @@ def try_stack_seed_modules(modules: list[Module]) -> Module | None:
     except SeedStackingError as err:
         template = modules[0] if modules else None
         encoder = getattr(template, "encoder", template)
-        key = f"{type(template).__name__}/{type(encoder).__name__}"
+        key = f"{context}/{type(template).__name__}/{type(encoder).__name__}"
         if key not in _SEQUENTIAL_FALLBACK_WARNED:
             _SEQUENTIAL_FALLBACK_WARNED.add(key)
             warnings.warn(
                 f"multi-seed batching unavailable for {type(encoder).__name__} "
-                f"({err}); falling back to sequential per-seed training",
+                f"({err}); falling back to sequential per-seed {context}",
                 RuntimeWarning,
                 stacklevel=3,
             )
@@ -427,6 +452,8 @@ class SeedBatchNorm1d(Module):
     including the running statistics (shape ``(K, h)``).
     """
 
+    _buffer_names = ("running_mean", "running_var")
+
     def __init__(self, num_seeds: int, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
         super().__init__()
         self.num_seeds = num_seeds
@@ -452,6 +479,14 @@ class SeedBatchNorm1d(Module):
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
         if not (self.training and x.shape[1] > 1):
+            if not is_grad_enabled():
+                # Tape-free eval fast path, in place, bitwise equal to the
+                # chain below (see BatchNorm1d).
+                out = x.data - self.running_mean[:, None, :]
+                out /= np.sqrt(self.running_var + self.eps)[:, None, :]
+                out *= self.gamma.data[:, None, :]
+                out += self.beta.data[:, None, :]
+                return Tensor._wrap(out)
             mean = Tensor(self.running_mean)
             var = Tensor(self.running_var)
             normalised = (x - mean.unsqueeze(1)) / (var + self.eps).sqrt().unsqueeze(1)

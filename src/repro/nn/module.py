@@ -28,7 +28,15 @@ class Module:
     Subclasses assign :class:`Parameter` and :class:`Module` instances as
     attributes; they are discovered automatically for optimisation,
     checkpointing, and mode switching.
+
+    Besides parameters, a module may carry *buffers*: non-trainable numpy
+    state that still matters for inference (batch-norm running statistics).
+    A subclass declares them by listing attribute names in the class
+    attribute ``_buffer_names``; they then travel with checkpoints and
+    model artifacts via :meth:`buffer_dict` / :meth:`load_buffer_dict`.
     """
+
+    _buffer_names: tuple = ()
 
     def __init__(self):
         object.__setattr__(self, "_parameters", {})
@@ -90,6 +98,42 @@ class Module:
     def state_dict(self) -> dict[str, np.ndarray]:
         """Copy of every parameter keyed by dotted name."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def named_buffers(self, prefix: str = ""):
+        """Yield ``(dotted_name, array)`` for every declared buffer, recursively."""
+        for name in self._buffer_names:
+            yield (f"{prefix}{name}", getattr(self, name))
+        for name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{name}.")
+
+    def buffer_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every buffer keyed by dotted name (see ``_buffer_names``)."""
+        return {name: np.asarray(value).copy() for name, value in self.named_buffers()}
+
+    def load_buffer_dict(self, buffers: dict[str, np.ndarray]) -> None:
+        """Load buffer values saved by :meth:`buffer_dict` (strict matching)."""
+        own: dict[str, tuple[Module, str]] = {}
+
+        def walk(module: "Module", prefix: str) -> None:
+            for name in module._buffer_names:
+                own[f"{prefix}{name}"] = (module, name)
+            for name, child in module._modules.items():
+                walk(child, f"{prefix}{name}.")
+
+        walk(self, "")
+        missing = set(own) - set(buffers)
+        unexpected = set(buffers) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"buffer dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, values in buffers.items():
+            module, attr = own[name]
+            values = np.asarray(values)
+            current = np.asarray(getattr(module, attr))
+            if current.shape != values.shape:
+                raise ValueError(f"shape mismatch for buffer {name}: {current.shape} vs {values.shape}")
+            setattr(module, attr, values.copy())
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Load parameter values saved by :meth:`state_dict`."""

@@ -7,14 +7,18 @@ reaches for before writing code:
     python -m repro.run --dataset proteins25 --method ood-gnn --seeds 3
     python -m repro.run --dataset ogbg-molbace --method gin --epochs 20
     python -m repro.run --dataset triangles25 --method gin --seeds 8 --batched-seeds
+    python -m repro.run --dataset proteins25 --method gin --export-artifact model.npz
     python -m repro.run --list
+
+``--export-artifact`` saves the trained seed roster as one deployable
+serving bundle for ``python -m repro.serve`` (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.bench import ExperimentProtocol, run_method_multi_seed, BATCHED_SEED_METHODS
+from repro.bench import ExperimentProtocol, run_method_multi_seed, method_spec, BATCHED_SEED_METHODS
 from repro.datasets import load_dataset, DATASET_NAMES
 from repro.encoders import available_models
 
@@ -52,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         "loops one seed at a time instead of as one seed-batched job (escape hatch / "
         "parity reference)",
     )
+    parser.add_argument(
+        "--export-artifact",
+        metavar="PATH",
+        help="after training, save all seeds as one serving artifact "
+        "(seed-ensemble bundle consumed by `python -m repro.serve`)",
+    )
     parser.add_argument("--list", action="store_true", help="list datasets and methods, then exit")
     return parser
 
@@ -84,7 +94,21 @@ def main(argv=None) -> int:
         args.method, factory, tuple(range(args.seeds)), protocol,
         batched=args.batched_seeds,
         batched_reweight=not args.sequential_reweight,
+        keep_models=bool(args.export_artifact),
     )
+
+    if args.export_artifact:
+        from repro.serve.artifact import FeatureSchema, ModelArtifact
+
+        artifact = ModelArtifact.from_models(
+            result.models,
+            method_spec(args.method, protocol),
+            FeatureSchema.from_info(sample.info),
+            seeds=result.seeds,
+            metadata={"dataset": sample.info.name, "epochs": args.epochs},
+        )
+        written = artifact.save(args.export_artifact)
+        print(f"artifact: {written} ({len(result.seeds)} seed{'s' if len(result.seeds) != 1 else ''})")
 
     mode = " [batched]" if args.batched_seeds else ""
     print(f"dataset: {sample.info.name}  metric: {sample.info.metric}  "

@@ -1,0 +1,38 @@
+"""Inference & serving: model artifacts, micro-batched engine, OOD scores.
+
+The deployment layer on top of everything below it (see
+``docs/ARCHITECTURE.md``, "Inference and serving"):
+
+* :class:`ModelArtifact` / :class:`ModelSpec` / :class:`FeatureSchema` —
+  self-describing bundles that rebuild a trained model without user code.
+* :class:`InferenceEngine` — micro-batched, seed-ensembled, tape-free
+  request serving with energy-based OOD scores per response.
+* ``python -m repro.serve`` — load an artifact and serve a JSON request
+  file or a JSON-lines stdin stream.
+
+Quickstart::
+
+    python -m repro.run --dataset proteins25 --method gin --seeds 2 \
+        --batched-seeds --export-artifact model.npz
+    python -m repro.serve model.npz --input requests.json
+"""
+
+from repro.serve.artifact import ARTIFACT_FORMAT_VERSION, FeatureSchema, ModelSpec, ModelArtifact
+from repro.serve.batcher import BatchBudget, MicroBatcher, plan_microbatches
+from repro.serve.engine import InferenceEngine, Prediction
+from repro.serve.ood import EnergyCalibration, energy_score, fit_energy_threshold
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "FeatureSchema",
+    "ModelSpec",
+    "ModelArtifact",
+    "BatchBudget",
+    "MicroBatcher",
+    "plan_microbatches",
+    "InferenceEngine",
+    "Prediction",
+    "EnergyCalibration",
+    "energy_score",
+    "fit_energy_threshold",
+]

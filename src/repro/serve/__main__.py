@@ -1,0 +1,177 @@
+"""Serve a trained model artifact from the command line.
+
+One-shot file mode (a JSON file holding a list of request graphs)::
+
+    python -m repro.serve model.npz --input requests.json
+
+Streaming mode (one JSON graph per stdin line, one JSON result per
+stdout line, micro-batched through the worker-thread queue)::
+
+    cat requests.jsonl | python -m repro.serve model.npz --stdin
+
+A request graph is ``{"x": [[...], ...], "edge_index": [[srcs], [dsts]]}``
+(``x`` rows are node feature vectors; ``edge_index`` may be omitted for an
+edgeless graph).  Each response line carries the prediction, per-class
+probabilities, the energy OOD score, and — when calibrated via
+``--calibrate`` or ``--energy-threshold`` — the OOD flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import queue
+import sys
+import threading
+
+import numpy as np
+
+from repro.graph.data import Graph
+from repro.serve.artifact import ModelArtifact
+from repro.serve.engine import InferenceEngine, Prediction, _PendingPrediction
+from repro.serve.ood import EnergyCalibration
+
+__all__ = ["build_parser", "graph_from_json", "result_to_json", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the serving CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve prediction requests from a trained model artifact.",
+    )
+    parser.add_argument("artifact", help="model artifact written by --export-artifact / ModelArtifact.save")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--input", help="JSON file with a list of request graphs (one-shot mode)")
+    mode.add_argument("--stdin", action="store_true", help="read JSON-lines requests from stdin")
+    parser.add_argument("--max-graphs", type=int, default=64, help="micro-batch graph budget (default 64)")
+    parser.add_argument(
+        "--max-nodes", type=int, default=2048,
+        help="micro-batch packed-node budget (default 2048; 0 = unbounded)",
+    )
+    parser.add_argument(
+        "--flush-timeout", type=float, default=0.01,
+        help="stdin mode: seconds to wait for more requests before running a partial batch",
+    )
+    parser.add_argument("--temperature", type=float, default=1.0, help="energy-score temperature T")
+    parser.add_argument(
+        "--calibrate",
+        help="JSON file of held-in graphs; fits the OOD threshold before serving",
+    )
+    parser.add_argument(
+        "--quantile", type=float, default=0.95,
+        help="in-distribution quantile for --calibrate (default 0.95)",
+    )
+    parser.add_argument(
+        "--energy-threshold", type=float, default=None,
+        help="explicit OOD threshold (alternative to --calibrate)",
+    )
+    return parser
+
+
+def graph_from_json(payload: dict) -> Graph:
+    """Build a request :class:`Graph` from its JSON object."""
+    if "x" not in payload:
+        raise ValueError("request graph needs an 'x' field (node feature rows)")
+    edge_index = payload.get("edge_index")
+    if edge_index is None:
+        edge_index = np.zeros((2, 0), dtype=np.int64)
+    return Graph(x=np.asarray(payload["x"], dtype=np.float64), edge_index=np.asarray(edge_index))
+
+
+def _load_graphs(path: str) -> list[Graph]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if isinstance(payload, dict):
+        payload = payload.get("graphs", [payload])
+    return [graph_from_json(obj) for obj in payload]
+
+
+def result_to_json(result: Prediction) -> dict:
+    """JSON-serialisable view of one prediction."""
+    label = result.label
+    if isinstance(label, np.ndarray):
+        label = label.tolist()
+    payload = {
+        "prediction": label,
+        "output": np.asarray(result.output).tolist(),
+        "probs": None if result.probs is None else np.asarray(result.probs).tolist(),
+        "energy": result.energy,
+        "ood": result.is_ood,
+    }
+    return payload
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    artifact = ModelArtifact.load(args.artifact)
+    engine = InferenceEngine(
+        artifact,
+        max_graphs=args.max_graphs,
+        max_nodes=args.max_nodes or None,
+        flush_timeout=args.flush_timeout,
+        temperature=args.temperature,
+    )
+    if args.calibrate:
+        calibration = engine.calibrate(_load_graphs(args.calibrate), quantile=args.quantile)
+        print(
+            f"calibrated OOD threshold {calibration.threshold:.4f} "
+            f"(quantile {calibration.quantile}, T={calibration.temperature})",
+            file=sys.stderr,
+        )
+    elif args.energy_threshold is not None:
+        engine.calibration = EnergyCalibration(
+            threshold=args.energy_threshold, temperature=args.temperature
+        )
+
+    if args.input:
+        results = engine.predict(_load_graphs(args.input))
+        for result in results:
+            print(json.dumps(result_to_json(result)))
+        return 0
+
+    # Streaming mode: submit each line to the queue front-end (so bursts
+    # coalesce into packed forwards).  A dedicated drainer thread prints
+    # results in arrival order as they complete — the reader blocks on
+    # stdin, so draining there would deadlock an interactive client that
+    # waits for each response before sending its next request.
+    engine.start()
+    handles: "queue.Queue" = queue.Queue()
+    _done = object()
+
+    def drain() -> None:
+        while True:
+            handle = handles.get()
+            if handle is _done:
+                return
+            try:
+                payload = result_to_json(handle.result())
+            except Exception as err:  # keep the stream alive per-request
+                payload = {"error": str(err)}
+            print(json.dumps(payload), flush=True)
+
+    drainer = threading.Thread(target=drain, daemon=True)
+    drainer.start()
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                handle = engine.submit(graph_from_json(json.loads(line)))
+            except Exception as err:
+                # One malformed or schema-invalid line answers with an
+                # error response in stream position; the server lives on.
+                handle = _PendingPrediction()
+                handle._resolve(None, err)
+            handles.put(handle)
+    finally:
+        engine.stop()
+        handles.put(_done)
+        drainer.join()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Micro-batch planning: coalesce variable-size graph requests under budgets.
+
+Two layers:
+
+* :func:`plan_microbatches` — pure arrival-order packing of a known request
+  list under a :class:`BatchBudget` (``max_graphs`` / ``max_nodes``), used
+  by the synchronous :meth:`~repro.serve.engine.InferenceEngine.predict`.
+* :class:`MicroBatcher` — the stateful accumulator behind the engine's
+  worker-thread queue front-end: requests arrive one at a time, batches
+  close when a budget fills or ``flush_timeout`` elapses since the first
+  pending request.  Time is injected, so the policy is unit-testable
+  without sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BatchBudget", "plan_microbatches", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchBudget:
+    """Limits on one packed forward pass.
+
+    ``max_graphs`` bounds the number of requests per batch; ``max_nodes``
+    (optional) bounds the packed node count — the quantity that actually
+    drives forward cost.  A single request larger than ``max_nodes`` still
+    serves (alone in its own batch): budgets shape batches, they never
+    reject work.
+    """
+
+    max_graphs: int = 64
+    max_nodes: int | None = None
+
+    def __post_init__(self):
+        if self.max_graphs < 1:
+            raise ValueError(f"max_graphs must be >= 1, got {self.max_graphs}")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError(f"max_nodes must be >= 1, got {self.max_nodes}")
+
+    def admits(self, count: int, nodes: int, extra_nodes: int) -> bool:
+        """Whether a batch of ``count`` requests / ``nodes`` packed nodes
+        can take one more request of ``extra_nodes`` nodes."""
+        if count >= self.max_graphs:
+            return False
+        if self.max_nodes is not None and count > 0 and nodes + extra_nodes > self.max_nodes:
+            return False
+        return True
+
+
+def plan_microbatches(node_counts, budget: BatchBudget) -> list[list[int]]:
+    """Partition request indices into batches, preserving arrival order.
+
+    Greedy first-fit in arrival order: a batch closes when adding the next
+    request would exceed ``max_graphs`` or ``max_nodes``.  Requests are
+    never reordered — latency fairness beats bin-packing optimality for a
+    serving queue.
+    """
+    batches: list[list[int]] = []
+    current: list[int] = []
+    nodes = 0
+    for index, count in enumerate(node_counts):
+        if current and not budget.admits(len(current), nodes, int(count)):
+            batches.append(current)
+            current, nodes = [], 0
+        current.append(index)
+        nodes += int(count)
+    if current:
+        batches.append(current)
+    return batches
+
+
+class MicroBatcher:
+    """Arrival-order accumulator for the queue front-end.
+
+    ``add(item, num_nodes, now)`` returns the list of batches that became
+    runnable (usually empty or one; two when an oversized request both
+    flushes the pending batch and fills its own).  ``deadline`` is the
+    absolute time by which the pending batch must flush; ``flush`` empties
+    it unconditionally.
+    """
+
+    def __init__(self, budget: BatchBudget, flush_timeout: float = 0.01):
+        if flush_timeout <= 0:
+            raise ValueError(f"flush_timeout must be > 0, got {flush_timeout}")
+        self.budget = budget
+        self.flush_timeout = flush_timeout
+        self._pending: list = []
+        self._nodes = 0
+        self._deadline: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute flush time of the pending batch (None when empty)."""
+        return self._deadline
+
+    def add(self, item, num_nodes: int, now: float) -> list[list]:
+        """Admit one request; return batches that are now full."""
+        ready: list[list] = []
+        if self._pending and not self.budget.admits(len(self._pending), self._nodes, num_nodes):
+            ready.append(self.flush())
+        self._pending.append(item)
+        self._nodes += int(num_nodes)
+        if self._deadline is None:
+            self._deadline = now + self.flush_timeout
+        if not self.budget.admits(len(self._pending), self._nodes, 1):
+            # max_graphs reached, or max_nodes already met/exceeded: no
+            # further request fits, so run the batch without waiting.
+            ready.append(self.flush())
+        return ready
+
+    def flush(self) -> list:
+        """Empty the pending batch and return its items (possibly none)."""
+        batch = self._pending
+        self._pending = []
+        self._nodes = 0
+        self._deadline = None
+        return batch

@@ -1,0 +1,370 @@
+"""The inference engine: micro-batched, seed-ensembled, OOD-scored serving.
+
+:class:`InferenceEngine` takes a :class:`~repro.serve.artifact.ModelArtifact`
+and answers prediction requests:
+
+* **Micro-batching** — requests are coalesced into packed
+  :class:`~repro.graph.data.GraphBatch` forwards under a
+  :class:`~repro.serve.batcher.BatchBudget` (``max_graphs``/``max_nodes``),
+  then per-request results are scattered back in arrival order.  One packed
+  forward amortises the per-op Python/tape overhead that dominates
+  small-graph latency (``benchmarks/bench_inference.py``).
+* **Tape-free forwards** — every forward runs inside
+  :func:`repro.autograd.inference_mode`, the allocation-free fast path.
+* **Seed ensembles** — a K-seed artifact serves the ensemble: stackable
+  rosters (GIN/GCN family) run one seed-stacked forward via
+  :func:`~repro.nn.layers.try_stack_seed_modules`; unstackable rosters
+  (attention, virtual-node, pooling) fall back to K sequential forwards
+  with the same one-time warning pattern as training.
+* **Energy OOD scores** — every response carries the free energy of its
+  logits (:mod:`repro.serve.ood`), and :meth:`InferenceEngine.calibrate`
+  fits a flagging threshold on held-in validation graphs.
+
+Front-ends: :meth:`InferenceEngine.predict` is the synchronous batch API;
+:meth:`start`/:meth:`submit`/:meth:`stop` expose a worker-thread queue that
+coalesces concurrently arriving requests under a ``flush_timeout`` budget.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import inference_mode
+from repro.graph.data import Graph, GraphBatch
+from repro.nn.layers import try_stack_seed_modules
+from repro.serve.artifact import FeatureSchema, ModelArtifact
+from repro.serve.batcher import BatchBudget, MicroBatcher, plan_microbatches
+from repro.serve.ood import EnergyCalibration, energy_score, fit_energy_threshold
+
+__all__ = ["Prediction", "InferenceEngine"]
+
+_STOP = object()
+
+
+@dataclass
+class Prediction:
+    """One request's answer.
+
+    ``output`` is the seed-averaged raw model output ``(out_dim,)``;
+    ``probs`` the seed-averaged class/task probabilities (None for
+    regression); ``label`` the argmax class (multiclass), per-task 0/1
+    array or scalar (binary), or the regression value(s); ``energy`` the
+    OOD score (higher = more OOD-looking, None for regression); ``is_ood``
+    the calibrated flag (None when the engine is uncalibrated or the task
+    has no energy).
+    """
+
+    index: int
+    output: np.ndarray
+    probs: np.ndarray | None
+    label: object
+    energy: float | None
+    is_ood: bool | None
+
+
+class _PendingPrediction:
+    """Future-like handle returned by :meth:`InferenceEngine.submit`."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result: Prediction | None = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, result: Prediction | None, error: BaseException | None = None) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether a result (or error) is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Prediction:
+        """Block until the micro-batch containing this request has run."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction not ready within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+def _stable_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _sigmoid(logits: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+
+
+class InferenceEngine:
+    """Serve a model artifact (see module docstring).
+
+    Parameters
+    ----------
+    artifact:
+        The bundle to serve.  (Use :meth:`from_models` to wrap already
+        constructed models, e.g. straight after training.)
+    max_graphs / max_nodes:
+        Micro-batch budgets (:class:`~repro.serve.batcher.BatchBudget`).
+        The default node cap keeps each packed forward's activations
+        cache-resident — benchmarks/bench_inference.py measures the
+        unbounded full pack *losing* to moderate packs at ~256-node
+        graphs because packed activations start streaming through memory.
+        Pass ``max_nodes=None`` to pack purely by graph count.
+    flush_timeout:
+        Queue front-end only: seconds after the first pending request
+        before a partially filled batch runs anyway.
+    temperature:
+        Energy-score temperature.
+    calibration:
+        Optional pre-fitted :class:`~repro.serve.ood.EnergyCalibration`;
+        or call :meth:`calibrate` with held-in graphs.
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact | None = None,
+        *,
+        models=None,
+        schema: FeatureSchema | None = None,
+        max_graphs: int = 64,
+        max_nodes: int | None = 2048,
+        flush_timeout: float = 0.01,
+        temperature: float = 1.0,
+        calibration: EnergyCalibration | None = None,
+    ):
+        if artifact is not None:
+            models = artifact.build_models()
+            schema = artifact.schema
+        if not models or schema is None:
+            raise ValueError("need either an artifact or explicit models + schema")
+        self.schema = schema
+        self.models = list(models)
+        for model in self.models:
+            model.eval()
+        self.budget = BatchBudget(max_graphs=max_graphs, max_nodes=max_nodes)
+        if flush_timeout <= 0:
+            # Validated here, not first inside the worker thread: a bad
+            # value raised in _serve_loop would kill the worker silently
+            # and leave every submit() waiting forever.
+            raise ValueError(f"flush_timeout must be > 0, got {flush_timeout}")
+        self.flush_timeout = flush_timeout
+        self.temperature = temperature
+        self.calibration = calibration
+        # Seed ensembles prefer one stacked forward; unstackable rosters
+        # warn once and serve K sequential forwards (same fallback pattern
+        # as the multi-seed trainers).
+        self._stacked = (
+            try_stack_seed_modules(self.models, context="serving")
+            if len(self.models) > 1
+            else None
+        )
+        if self._stacked is not None:
+            self._stacked.eval()
+        self._queue: queue.Queue | None = None
+        self._worker: threading.Thread | None = None
+        # Serialises submit() against stop(): without it a submit that
+        # passed the started-check could enqueue after the stop sentinel
+        # and strand its waiter forever.
+        self._submit_lock = threading.Lock()
+
+    @classmethod
+    def from_models(cls, models, schema: FeatureSchema, **kwargs) -> "InferenceEngine":
+        """Engine over in-memory models (no artifact round-trip)."""
+        return cls(None, models=list(models), schema=schema, **kwargs)
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.models)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def _forward(self, batch: GraphBatch) -> np.ndarray:
+        """Per-seed logits ``(K, num_graphs, out_dim)`` for one packed batch."""
+        with inference_mode():
+            if self._stacked is not None:
+                return self._stacked(batch).data
+            if len(self.models) == 1:
+                return self.models[0](batch).data[None]
+            return np.stack([model(batch).data for model in self.models])
+
+    def _combine(self, indices, logits: np.ndarray) -> list[Prediction]:
+        """Ensemble-average one packed batch back into per-request results."""
+        task = self.schema.task_type
+        outputs = logits.mean(axis=0)                      # (n, out_dim)
+        if task == "regression":
+            probs_all, energies = None, None
+        else:
+            if task == "multiclass":
+                probs_all = _stable_softmax(logits).mean(axis=0)
+            else:
+                probs_all = _sigmoid(logits).mean(axis=0)
+            # Mean per-seed free energy: each member scores its own logits
+            # and the ensemble reports the average (the energies of the
+            # averaged logits would understate member disagreement).
+            energies = np.stack(
+                [energy_score(logits[k], task, self.temperature) for k in range(logits.shape[0])]
+            ).mean(axis=0)
+        results = []
+        for row, request_index in enumerate(indices):
+            probs = probs_all[row] if probs_all is not None else None
+            if task == "multiclass":
+                label = int(np.argmax(probs))
+            elif task == "binary":
+                flags = (probs >= 0.5).astype(np.int64)
+                label = int(flags[0]) if flags.shape[0] == 1 else flags
+            else:
+                values = outputs[row]
+                label = float(values[0]) if values.shape[0] == 1 else values
+            energy = float(energies[row]) if energies is not None else None
+            is_ood = None
+            if energy is not None and self.calibration is not None:
+                is_ood = bool(self.calibration.is_ood(energy))
+            results.append(
+                Prediction(
+                    index=request_index,
+                    output=outputs[row],
+                    probs=probs,
+                    label=label,
+                    energy=energy,
+                    is_ood=is_ood,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Synchronous API
+    # ------------------------------------------------------------------
+    def predict(self, graphs: list[Graph]) -> list[Prediction]:
+        """Serve a list of request graphs; results align with the input order.
+
+        Requests are packed into micro-batches under the engine budget,
+        each batch runs one tape-free (optionally seed-stacked) forward,
+        and results scatter back to their request indices.
+        """
+        graphs = list(graphs)
+        for graph in graphs:
+            self.schema.validate_graph(graph)
+        results: list[Prediction | None] = [None] * len(graphs)
+        for pack in plan_microbatches([g.num_nodes for g in graphs], self.budget):
+            batch = GraphBatch.from_graphs([graphs[i] for i in pack])
+            logits = self._forward(batch)
+            for prediction in self._combine(pack, logits):
+                results[prediction.index] = prediction
+        return results
+
+    def predict_one(self, graph: Graph) -> Prediction:
+        """Serve a single graph (one forward, no batching)."""
+        return self.predict([graph])[0]
+
+    def energy_scores(self, graphs: list[Graph]) -> np.ndarray:
+        """Energies only, e.g. for calibration sweeps."""
+        if self.schema.task_type == "regression":
+            raise ValueError(
+                "regression artifacts have no logits, so no energy scores to "
+                "compute or calibrate"
+            )
+        return np.array([p.energy for p in self.predict(graphs)], dtype=np.float64)
+
+    def calibrate(self, graphs: list[Graph], quantile: float = 0.95) -> EnergyCalibration:
+        """Fit (and install) the OOD threshold on held-in validation graphs."""
+        calibration = fit_energy_threshold(
+            self.energy_scores(graphs), quantile=quantile, temperature=self.temperature
+        )
+        self.calibration = calibration
+        return calibration
+
+    # ------------------------------------------------------------------
+    # Worker-thread queue front-end
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceEngine":
+        """Spawn the worker thread behind :meth:`submit`."""
+        if self._worker is not None:
+            raise RuntimeError("engine already started")
+        self._queue = queue.Queue()
+        self._worker = threading.Thread(target=self._serve_loop, daemon=True)
+        self._worker.start()
+        return self
+
+    def submit(self, graph: Graph) -> _PendingPrediction:
+        """Enqueue one request; returns a handle with ``.result(timeout)``.
+
+        The worker coalesces concurrently queued requests into one packed
+        forward (budget- or timeout-bound), so N threads submitting at
+        once pay roughly one forward, not N.
+        """
+        self.schema.validate_graph(graph)
+        pending = _PendingPrediction()
+        with self._submit_lock:
+            if self._queue is None:
+                raise RuntimeError("call start() before submit()")
+            self._queue.put((graph, pending))
+        return pending
+
+    def stop(self) -> None:
+        """Flush pending requests and join the worker thread.
+
+        Requests submitted concurrently with ``stop`` either make it into
+        the final flush or are rejected with a ``RuntimeError`` on their
+        handle — never silently dropped.
+        """
+        if self._worker is None:
+            return
+        stopped_queue = self._queue
+        stopped_queue.put(_STOP)
+        self._worker.join()
+        with self._submit_lock:
+            self._queue = None
+        self._worker = None
+        # Reject anything that raced into the queue behind the sentinel.
+        while True:
+            try:
+                item = stopped_queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            _graph, pending = item
+            pending._resolve(None, RuntimeError("engine stopped before the request was served"))
+
+    def _run_pending(self, items) -> None:
+        if not items:
+            return
+        graphs = [graph for graph, _pending in items]
+        try:
+            batch = GraphBatch.from_graphs(graphs)
+            logits = self._forward(batch)
+            predictions = self._combine(range(len(items)), logits)
+        except BaseException as err:  # surface engine errors to every waiter
+            for _graph, pending in items:
+                pending._resolve(None, err)
+            return
+        for (_graph, pending), prediction in zip(items, predictions):
+            pending._resolve(prediction)
+
+    def _serve_loop(self) -> None:
+        batcher = MicroBatcher(self.budget, flush_timeout=self.flush_timeout)
+        while True:
+            if len(batcher):
+                timeout = max(0.0, batcher.deadline - time.monotonic())
+            else:
+                timeout = None
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                self._run_pending(batcher.flush())
+                continue
+            if item is _STOP:
+                self._run_pending(batcher.flush())
+                return
+            graph, _pending = item
+            for ready in batcher.add(item, graph.num_nodes, time.monotonic()):
+                self._run_pending(ready)

@@ -79,6 +79,21 @@ class MultiSeedResult:
     models: list
     histories: list
 
+    def export_artifact(self, path, spec, schema, metadata: dict | None = None):
+        """Save the whole roster as one seed-ensemble serving artifact.
+
+        ``spec``/``schema`` are a :class:`~repro.serve.artifact.ModelSpec`
+        and :class:`~repro.serve.artifact.FeatureSchema`; the saved bundle
+        serves via :class:`repro.serve.InferenceEngine` (seed-averaged
+        predictions).  Returns the path written.
+        """
+        from repro.serve.artifact import ModelArtifact
+
+        artifact = ModelArtifact.from_models(
+            self.models, spec, schema, seeds=self.seeds, metadata=metadata
+        )
+        return artifact.save(path)
+
 
 class Trainer:
     """ERM trainer: minimise the unweighted prediction loss.
@@ -246,3 +261,18 @@ class Trainer:
     def evaluate(self, graphs: list[Graph], metric: str | None = None) -> float:
         """Metric of the current model on ``graphs``."""
         return evaluate_model(self.model, graphs, metric or self.metric)
+
+    def export_artifact(self, path, spec, schema, metadata: dict | None = None):
+        """Save the trained model as a deployable serving artifact.
+
+        ``spec`` is the :class:`~repro.serve.artifact.ModelSpec` the model
+        was built from, ``schema`` the dataset's
+        :class:`~repro.serve.artifact.FeatureSchema` — together they let
+        ``python -m repro.serve`` rebuild and serve the model without any
+        user code.  Returns the path written.
+        """
+        from repro.serve.artifact import ModelArtifact
+
+        if self.model is None:
+            raise ValueError("trainer has no model to export (fit_many results export via MultiSeedResult)")
+        return ModelArtifact.from_model(self.model, spec, schema, metadata=metadata).save(path)

@@ -1,4 +1,6 @@
-"""Command-line experiment runner (python -m repro.run)."""
+"""Command-line entry points (python -m repro.run, python -m repro.serve)."""
+
+import json
 
 import pytest
 
@@ -48,3 +50,116 @@ class TestMain:
         out = capsys.readouterr().out
         assert "train" in out
         assert "Test(large)" in out
+
+
+class TestServe:
+    """Smoke test for python -m repro.serve: train -> export -> serve -> query."""
+
+    @pytest.fixture(scope="class")
+    def artifact_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve") / "model.npz"
+        code = main([
+            "--dataset", "proteins25", "--method", "gin",
+            "--seeds", "2", "--epochs", "2", "--scale", "0.15",
+            "--hidden-dim", "8", "--num-layers", "2", "--batched-seeds",
+            "--export-artifact", str(path),
+        ])
+        assert code == 0 and path.exists()
+        return path
+
+    @pytest.fixture(scope="class")
+    def requests_path(self, tmp_path_factory):
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset("proteins25", seed=0, scale=0.15)
+        payload = [
+            {"x": g.x.tolist(), "edge_index": g.edge_index.tolist()}
+            for g in dataset.tests["Test(large)"][:4]
+        ]
+        path = tmp_path_factory.mktemp("serve-req") / "requests.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_export_artifact_is_seed_ensemble(self, artifact_path):
+        from repro.serve import ModelArtifact
+
+        artifact = ModelArtifact.load(artifact_path)
+        assert artifact.num_seeds == 2
+        assert artifact.spec.method == "gin"
+        assert artifact.schema.dataset == "PROTEINS25"
+
+    def test_one_shot_file_mode(self, artifact_path, requests_path, capsys):
+        from repro.serve.__main__ import main as serve_main
+
+        code = serve_main([str(artifact_path), "--input", str(requests_path)])
+        assert code == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 4
+        for line in lines:
+            assert line["prediction"] in (0, 1)
+            assert len(line["probs"]) == 2
+            assert isinstance(line["energy"], float)
+            assert line["ood"] is None  # no calibration requested
+
+    def test_calibrated_file_mode(self, artifact_path, requests_path, capsys):
+        from repro.serve.__main__ import main as serve_main
+
+        code = serve_main([
+            str(artifact_path), "--input", str(requests_path),
+            "--calibrate", str(requests_path), "--quantile", "0.5",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "calibrated OOD threshold" in captured.err
+        lines = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert all(isinstance(line["ood"], bool) for line in lines)
+        # Calibrated at the median of the very same requests: some flagged.
+        assert any(line["ood"] for line in lines)
+
+    def test_stdin_streaming_mode(self, artifact_path, requests_path, capsys, monkeypatch):
+        import io
+
+        from repro.serve.__main__ import main as serve_main
+
+        requests = json.loads(requests_path.read_text())
+        stream = io.StringIO("".join(json.dumps(r) + "\n" for r in requests))
+        monkeypatch.setattr("sys.stdin", stream)
+        code = serve_main([str(artifact_path), "--stdin", "--flush-timeout", "0.01"])
+        assert code == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == len(requests)
+
+    def test_stdin_bad_line_answers_error_and_stream_survives(
+        self, artifact_path, requests_path, capsys, monkeypatch
+    ):
+        import io
+
+        from repro.serve.__main__ import main as serve_main
+
+        good = json.dumps(json.loads(requests_path.read_text())[0])
+        stream = io.StringIO("not json\n" + json.dumps({"edge_index": [[], []]}) + "\n" + good + "\n")
+        monkeypatch.setattr("sys.stdin", stream)
+        code = serve_main([str(artifact_path), "--stdin", "--flush-timeout", "0.01"])
+        assert code == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 3
+        assert "error" in lines[0]          # malformed JSON
+        assert "error" in lines[1]          # missing "x"
+        assert lines[2]["prediction"] in (0, 1)  # later requests still served
+
+    def test_requires_a_mode(self, artifact_path):
+        from repro.serve.__main__ import main as serve_main
+
+        with pytest.raises(SystemExit):
+            serve_main([str(artifact_path)])
+
+    def test_rejects_plain_checkpoint(self, tmp_path, requests_path):
+        import numpy as np
+
+        from repro.nn import MLP, save_checkpoint
+        from repro.serve.__main__ import main as serve_main
+
+        path = tmp_path / "plain.npz"
+        save_checkpoint(MLP([2, 2], np.random.default_rng(0)), path)
+        with pytest.raises(ValueError, match="not a model artifact"):
+            serve_main([str(path), "--input", str(requests_path)])

@@ -69,6 +69,21 @@ class TestSegmentOps:
         out = F.segment_mean(x, np.array([0, 0, 1]), 2)
         np.testing.assert_allclose(out.data, [[3.0], [9.0]])
 
+    def test_segment_sum_after_in_place_id_mutation(self):
+        """The scatter-operator cache must revalidate, not serve stale ids.
+
+        The cache keys on the index buffer's address; overwriting the
+        same buffer with different ids (dynamic-graph serving) must be a
+        miss — a stale CSC operator would silently mis-aggregate.
+        """
+        x = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        ids = np.array([0, 0, 1, 1])
+        out = F.segment_sum(x, ids, 2)
+        np.testing.assert_allclose(out.data, [[3.0], [7.0]])
+        ids[:] = [1, 1, 0, 0]  # same buffer, new contents
+        out = F.segment_sum(x, ids, 2)
+        np.testing.assert_allclose(out.data, [[7.0], [3.0]])
+
     def test_segment_max_values_and_empty(self):
         x = Tensor(np.array([1.0, 5.0, 3.0]))
         out = F.segment_max(x, np.array([0, 0, 2]), 3, empty_value=-1.0)

@@ -22,6 +22,12 @@ class TestGraph:
         g = Graph(x=np.ones(4), edge_index=np.zeros((2, 0)))
         assert g.x.shape == (4, 1)
 
+    def test_negative_edge_indices_rejected(self):
+        # Batching adds node offsets to edge indices, so a -1 would
+        # silently resolve into a *different* graph's nodes when packed.
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(x=np.ones((3, 1)), edge_index=np.array([[-1], [0]]))
+
     def test_out_of_range_edge_raises(self):
         with pytest.raises(ValueError):
             Graph(x=np.ones((2, 1)), edge_index=np.array([[0], [5]]))

@@ -6,7 +6,14 @@ import pytest
 from repro.nn import Adam, MLP
 from repro.nn.module import Parameter
 from repro.nn.schedulers import StepLR, CosineAnnealingLR, LinearWarmupLR
-from repro.nn.checkpoint import save_checkpoint, load_checkpoint
+from repro.nn.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_buffers,
+    load_checkpoint,
+    load_state,
+    save_checkpoint,
+    save_state,
+)
 from repro.autograd import Tensor
 
 
@@ -108,3 +115,106 @@ class TestCheckpoint:
         for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
             assert n1 == n2
             np.testing.assert_allclose(p1.data, p2.data)
+
+
+class TestSuffixHandling:
+    """save/load agree on the final file name for every suffix shape."""
+
+    def test_npz_suffix_not_doubled(self, rng, tmp_path):
+        m = MLP([2, 2], rng)
+        written = save_checkpoint(m, tmp_path / "m.npz")
+        assert written == tmp_path / "m.npz"
+        assert (tmp_path / "m.npz").exists()
+        assert not (tmp_path / "m.npz.npz").exists()
+        load_checkpoint(m, tmp_path / "m.npz")
+
+    def test_foreign_suffix_round_trips(self, rng, tmp_path):
+        # Formerly broken: np.savez wrote model.ckpt.npz but the loader
+        # looked for model.npz (with_suffix substitution).
+        m1 = MLP([3, 4, 2], rng)
+        m2 = MLP([3, 4, 2], np.random.default_rng(5))
+        written = save_checkpoint(m1, tmp_path / "model.ckpt")
+        assert written == tmp_path / "model.ckpt.npz"
+        load_checkpoint(m2, tmp_path / "model.ckpt")
+        x = Tensor(rng.normal(size=(4, 3)))
+        np.testing.assert_array_equal(m1(x).data, m2(x).data)
+
+    def test_exact_existing_path_wins(self, rng, tmp_path):
+        m = MLP([2, 2], rng)
+        save_checkpoint(m, tmp_path / "weights")
+        state, _meta = load_state(tmp_path / "weights")
+        assert state  # resolved weights.npz
+
+
+class TestLoadStateHelper:
+    def test_returns_state_without_a_model(self, rng, tmp_path):
+        m = MLP([3, 8, 2], rng)
+        save_checkpoint(m, tmp_path / "m.npz", metadata={"epoch": 3})
+        state, metadata = load_state(tmp_path / "m.npz")
+        assert set(state) == set(m.state_dict())
+        for name, values in m.state_dict().items():
+            np.testing.assert_array_equal(state[name], values)
+        assert metadata["epoch"] == 3
+        assert metadata["format_version"] == CHECKPOINT_FORMAT_VERSION
+
+    def test_buffer_entries_kept_out_of_state(self, rng, tmp_path):
+        m = MLP([3, 8, 2], rng, batch_norm=True)
+        save_checkpoint(m, tmp_path / "bn.npz")
+        state, _meta = load_state(tmp_path / "bn.npz")
+        assert not any("running_" in k for k in state)
+        buffers = load_buffers(tmp_path / "bn.npz")
+        assert any(k.endswith("running_mean") for k in buffers)
+
+    def test_legacy_archive_reports_version_one(self, rng, tmp_path):
+        # A pre-versioning archive: raw arrays, no metadata key at all.
+        m = MLP([2, 2], rng)
+        with open(tmp_path / "legacy.npz", "wb") as fh:
+            np.savez(fh, **m.state_dict())
+        state, metadata = load_state(tmp_path / "legacy.npz")
+        assert metadata == {"format_version": 1}
+        m.load_state_dict(state)
+        assert load_buffers(tmp_path / "legacy.npz") == {}
+        assert load_checkpoint(m, tmp_path / "legacy.npz") == {}
+
+    def test_save_state_rejects_foreign_format_version(self, tmp_path):
+        with pytest.raises(ValueError, match="format_version"):
+            save_state({"w": np.ones(2)}, tmp_path / "x.npz", metadata={"format_version": 9})
+
+    def test_load_state_save_state_round_trip(self, rng, tmp_path):
+        """The model-free dict API must round-trip its own output."""
+        m = MLP([2, 3], rng)
+        save_checkpoint(m, tmp_path / "a.npz", metadata={"epoch": 2})
+        state, metadata = load_state(tmp_path / "a.npz")
+        save_state(state, tmp_path / "b.npz", metadata=metadata)  # no reserved-key error
+        state2, metadata2 = load_state(tmp_path / "b.npz")
+        assert metadata2 == metadata
+        for name in state:
+            np.testing.assert_array_equal(state[name], state2[name])
+
+
+class TestBufferPersistence:
+    def test_running_stats_round_trip(self, rng, tmp_path):
+        m1 = MLP([3, 8, 2], rng, batch_norm=True)
+        m1(Tensor(rng.normal(size=(16, 3))))  # train-mode: moves running stats
+        m2 = MLP([3, 8, 2], np.random.default_rng(9), batch_norm=True)
+        save_checkpoint(m1, tmp_path / "m.npz")
+        load_checkpoint(m2, tmp_path / "m.npz")
+        m1.eval(), m2.eval()
+        x = Tensor(rng.normal(size=(4, 3)))
+        np.testing.assert_array_equal(m1(x).data, m2(x).data)
+        assert dict(m1.named_buffers()).keys() == dict(m2.named_buffers()).keys()
+        for name, value in m1.named_buffers():
+            np.testing.assert_array_equal(value, dict(m2.named_buffers())[name])
+
+    def test_load_buffer_dict_strict(self, rng):
+        m = MLP([3, 8, 2], rng, batch_norm=True)
+        buffers = m.buffer_dict()
+        buffers.pop(next(iter(buffers)))
+        with pytest.raises(KeyError, match="missing"):
+            m.load_buffer_dict(buffers)
+
+    def test_buffer_shape_mismatch(self, rng):
+        m = MLP([3, 8, 2], rng, batch_norm=True)
+        buffers = {k: np.zeros(3) for k in m.buffer_dict()}
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.load_buffer_dict(buffers)
