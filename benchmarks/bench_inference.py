@@ -102,15 +102,23 @@ def measure_microbatch(repeats: int = 5, num_requests: int = NUM_REQUESTS, num_n
 
     ``one_at_a_time`` is the pre-subsystem baseline: one default-mode
     (taped) forward per request graph.  ``microbatched`` is the engine at
-    batch budget 64 (tape-free packed forwards, default node cap);
-    ``engine_single`` (engine at ``max_graphs=1``) and ``full_pack``
-    (``max_nodes=None``) decompose where the win comes from.
+    batch budget 64 (tape-free packed forwards, fused elementwise
+    epilogues, default dtype-derived node cap); ``microbatched_f32`` is
+    the same engine in the float32 compute mode (cast weights, float32
+    activations end to end, doubled auto node cap — the fast serving
+    configuration whose >= 1.5x-vs-packed-float64 floor is the fusion
+    PR's acceptance target); ``engine_single`` (engine at
+    ``max_graphs=1``) and ``full_pack`` (``max_nodes=None``) decompose
+    where the packing win comes from.
     """
     model = make_model()
     graphs = make_graphs(num_requests, num_nodes)
     engine_single = InferenceEngine.from_models([model], _SCHEMA, max_graphs=1)
     batched = InferenceEngine.from_models([model], _SCHEMA, max_graphs=BATCH_BUDGET)
     full_pack = InferenceEngine.from_models([model], _SCHEMA, max_graphs=BATCH_BUDGET, max_nodes=None)
+    batched_f32 = InferenceEngine.from_models(
+        [make_model()], _SCHEMA, max_graphs=BATCH_BUDGET, dtype="float32"
+    )
 
     def one_at_a_time():
         for g in graphs:
@@ -119,6 +127,7 @@ def measure_microbatch(repeats: int = 5, num_requests: int = NUM_REQUESTS, num_n
     timings = {
         "one_at_a_time": _time_per_call(one_at_a_time, repeats),
         "microbatched": _time_per_call(lambda: batched.predict(graphs), repeats),
+        "microbatched_f32": _time_per_call(lambda: batched_f32.predict(graphs), repeats),
         "engine_single": _time_per_call(lambda: engine_single.predict(graphs), repeats),
         "full_pack": _time_per_call(lambda: full_pack.predict(graphs), repeats),
     }
@@ -156,15 +165,19 @@ def test_serving_throughput(benchmark, mode):
 
 
 def test_inference_speedup_targets():
-    """Acceptance: tape-free >= 2x, micro-batched >= 3x at the issue shape.
+    """Acceptance: tape-free >= 2x, micro-batched >= 3x, float32+fused
+    >= 1.5x the float64 packed path, all at the issue shape.
 
-    Measured headroom ~3.8x / ~4.0x, so the floors stay robust to machine
-    noise.  Not part of tier-1 — bench files are not collected by default.
+    Measured headroom ~3.8x / ~4.0x / ~1.8x, so the floors stay robust to
+    machine noise.  Not part of tier-1 — bench files are not collected by
+    default.
     """
     _, forward_ratio = measure_tape_free(repeats=100)
     assert forward_ratio >= 2.0, f"tape-free forward only {forward_ratio:.2f}x faster"
-    _, _, serve_ratio = measure_microbatch(repeats=3)
+    timings, _, serve_ratio = measure_microbatch(repeats=3)
     assert serve_ratio >= 3.0, f"micro-batched serving only {serve_ratio:.2f}x faster"
+    f32_ratio = timings["microbatched"] / timings["microbatched_f32"]
+    assert f32_ratio >= 1.5, f"float32 fused serving only {f32_ratio:.2f}x the packed float64 path"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,10 +208,15 @@ def main(argv=None) -> int:
         f"    taped: {forward['taped'] * 1e3:7.3f} ms    tape-free: {forward['tape_free'] * 1e3:7.3f} ms"
         f"    speedup: {forward_ratio:.2f}x"
     )
+    f32_ratio = serve["microbatched"] / serve["microbatched_f32"]
     print(f"  serving throughput ({args.requests} requests, batch budget {BATCH_BUDGET}):")
     print(
         f"    one-at-a-time (taped, no engine): {throughput['one_at_a_time']:7.1f} graphs/s    "
         f"micro-batched engine: {throughput['microbatched']:7.1f} graphs/s    speedup: {serve_ratio:.2f}x"
+    )
+    print(
+        f"    float32 + fused engine: {throughput['microbatched_f32']:7.1f} graphs/s    "
+        f"vs float64 packed: {f32_ratio:.2f}x"
     )
     print(
         f"    [decomposition] engine one-at-a-time: {throughput['engine_single']:7.1f} graphs/s    "
@@ -206,7 +224,8 @@ def main(argv=None) -> int:
     )
     print(
         f"  acceptance: tape-free >= 2x -> {'PASS' if forward_ratio >= 2.0 else 'FAIL'}, "
-        f"micro-batch >= 3x -> {'PASS' if serve_ratio >= 3.0 else 'FAIL'}"
+        f"micro-batch >= 3x -> {'PASS' if serve_ratio >= 3.0 else 'FAIL'}, "
+        f"float32 fused >= 1.5x packed -> {'PASS' if f32_ratio >= 1.5 else 'FAIL'}"
     )
 
     payload = {
@@ -230,10 +249,13 @@ def main(argv=None) -> int:
             "microbatched_s": serve["microbatched"],
             "one_at_a_time_graphs_per_s": throughput["one_at_a_time"],
             "microbatched_graphs_per_s": throughput["microbatched"],
+            "microbatched_f32_graphs_per_s": throughput["microbatched_f32"],
             "engine_single_graphs_per_s": throughput["engine_single"],
             "full_pack_graphs_per_s": throughput["full_pack"],
             "speedup": serve_ratio,
             "target": 3.0,
+            "f32_fused_speedup_vs_packed": f32_ratio,
+            "f32_target": 1.5,
         },
     }
     os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)

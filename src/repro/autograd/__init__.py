@@ -14,7 +14,29 @@ paper's training loops need:
   verification used heavily by the test suite.
 """
 
-from repro.autograd.tensor import Tensor, as_tensor, no_grad, inference_mode, is_grad_enabled
-from repro.autograd import functional
+from repro.autograd.tensor import (
+    Tensor,
+    as_tensor,
+    no_grad,
+    inference_mode,
+    is_grad_enabled,
+    as_compute_dtype,
+    compute_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
+from repro.autograd import functional, fusion
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "inference_mode", "is_grad_enabled", "functional"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "inference_mode",
+    "is_grad_enabled",
+    "as_compute_dtype",
+    "compute_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "functional",
+    "fusion",
+]

@@ -69,7 +69,8 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
     """Inverted dropout: zero entries with probability ``p`` during training."""
     if not training or p <= 0.0:
         return x
-    keep = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    mask_dtype = x.data.dtype if x.data.dtype.kind == "f" else np.float64
+    keep = (rng.random(x.shape) >= p).astype(mask_dtype) / (1.0 - p)
     return x * Tensor(keep)
 
 
@@ -109,8 +110,29 @@ _SCATTER_CACHE_MAX = 8
 _SCATTER_CACHE_LOCK = threading.Lock()
 
 
-def _scatter_key(ids: np.ndarray, num_rows: int):
-    return (ids.__array_interface__["data"][0], ids.shape[0], ids.strides, ids.dtype.str, num_rows)
+def _value_dtype(*arrays) -> np.dtype:
+    """Float dtype scatter/segment outputs should use for these operands.
+
+    Float operands keep their precision (float32 stays float32 under the
+    serving compute-dtype policy); integer/bool operands accumulate in
+    float64, matching the engine-wide default.
+    """
+    for arr in arrays:
+        dtype = getattr(arr, "dtype", None)
+        if dtype is not None and dtype.kind == "f":
+            return dtype
+    return np.dtype(np.float64)
+
+
+def _scatter_key(ids: np.ndarray, num_rows: int, dtype: np.dtype):
+    return (
+        ids.__array_interface__["data"][0],
+        ids.shape[0],
+        ids.strides,
+        ids.dtype.str,
+        num_rows,
+        dtype.str,
+    )
 
 
 def _checked_ids(ids: np.ndarray, num_rows: int) -> np.ndarray:
@@ -131,20 +153,25 @@ def _checked_ids(ids: np.ndarray, num_rows: int) -> np.ndarray:
     return ids
 
 
-def _scatter_matrix(ids: np.ndarray, num_rows: int):
+def _scatter_matrix(ids: np.ndarray, num_rows: int, dtype=np.float64):
     """One-entry-per-column ``(num_rows, len(ids))`` CSC scatter operator.
 
     ``m @ values`` accumulates ``values`` rows into their ``ids`` buckets
     in index order — the same semantics (and order) as ``np.add.at``.
+    The operator's data dtype matches the values it will scatter (the
+    ``csc_matvecs`` kernel requires exact dtype agreement), so float32
+    and float64 forwards each get their own cached operator.
     """
-    key = _scatter_key(ids, num_rows)
+    dtype = np.dtype(dtype)
+    key = _scatter_key(ids, num_rows, dtype)
     with _SCATTER_CACHE_LOCK:
         entry = _SCATTER_CACHE.get(key)
         if entry is not None and np.array_equal(entry[2], ids):
             return entry[1]
     n = len(ids)
     mat = _scipy_sparse.csc_matrix(
-        (np.ones(n), _checked_ids(ids, num_rows), np.arange(n + 1)), shape=(num_rows, n)
+        (np.ones(n, dtype=dtype), _checked_ids(ids, num_rows), np.arange(n + 1)),
+        shape=(num_rows, n),
     )
     with _SCATTER_CACHE_LOCK:
         if entry is None and len(_SCATTER_CACHE) >= _SCATTER_CACHE_MAX:
@@ -187,8 +214,8 @@ def scatter_add_rows(out: np.ndarray, ids: np.ndarray, values: np.ndarray) -> np
         out += np.bincount(_checked_ids(ids, out.shape[0]), weights=values, minlength=out.shape[0])
         return out
     if _scipy_sparse is not None:
-        mat = _scatter_matrix(ids, out.shape[0])
-        if out.flags.c_contiguous:
+        mat = _scatter_matrix(ids, out.shape[0], out.dtype)
+        if out.flags.c_contiguous and values.dtype == out.dtype:
             flat = np.ascontiguousarray(values.reshape(n, -1))
             _scatter_into(mat, flat, out.reshape(out.shape[0], -1))
         else:
@@ -207,7 +234,7 @@ def segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:
     x = as_tensor(x)
     ids = _as_segment_ids(segment_ids)
     out_shape = (num_segments,) + x.shape[1:]
-    out_data = np.zeros(out_shape, dtype=np.float64)
+    out_data = np.zeros(out_shape, dtype=_value_dtype(x.data))
     scatter_add_rows(out_data, ids, x.data)
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
         return Tensor._wrap(out_data)
@@ -233,7 +260,7 @@ def segment_max(x: Tensor, segment_ids, num_segments: int, empty_value: float = 
     x = as_tensor(x)
     ids = _as_segment_ids(segment_ids)
     out_shape = (num_segments,) + x.shape[1:]
-    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    out_data = np.full(out_shape, -np.inf, dtype=_value_dtype(x.data))
     np.maximum.at(out_data, ids, x.data)
     empty = ~np.isfinite(out_data)
     out_data[empty] = empty_value
@@ -418,7 +445,7 @@ def seed_gather(x: Tensor, index: np.ndarray) -> Tensor:
     if len(index):
         index = _checked_ids(index, xd.shape[1])
     num_seeds = xd.shape[0]
-    out_data = np.empty((num_seeds, len(index)) + xd.shape[2:])
+    out_data = np.empty((num_seeds, len(index)) + xd.shape[2:], dtype=xd.dtype)
     for k in range(num_seeds):
         # mode="clip" skips ufunc buffering — ~3x faster than the default
         # bounds-checked path; _checked_ids validated the indices above.
@@ -428,9 +455,9 @@ def seed_gather(x: Tensor, index: np.ndarray) -> Tensor:
     shape = x.shape
 
     def grad_fn(g):
-        full = np.zeros(shape)
+        full = np.zeros(shape, dtype=_value_dtype(g))
         if _scipy_sparse is not None and len(index) and g.ndim == 3:
-            onehot = _scatter_matrix(index, shape[1])  # built once, applied K times
+            onehot = _scatter_matrix(index, shape[1], full.dtype)  # built once, applied K times
             g = np.ascontiguousarray(g)
             for k in range(num_seeds):
                 _scatter_into(onehot, g[k], full[k])
@@ -455,9 +482,9 @@ def seed_segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:
         ids = _checked_ids(ids, num_segments)
     xd = x.data
     num_seeds = xd.shape[0]
-    out_data = np.zeros((num_seeds, num_segments) + xd.shape[2:])
-    if _scipy_sparse is not None and len(ids) and xd.ndim == 3:
-        onehot = _scatter_matrix(ids, num_segments)    # built once, applied K times
+    out_data = np.zeros((num_seeds, num_segments) + xd.shape[2:], dtype=_value_dtype(xd))
+    if _scipy_sparse is not None and len(ids) and xd.ndim == 3 and xd.dtype == out_data.dtype:
+        onehot = _scatter_matrix(ids, num_segments, out_data.dtype)  # built once, applied K times
         xc = np.ascontiguousarray(xd)
         for k in range(num_seeds):
             _scatter_into(onehot, xc[k], out_data[k])
@@ -468,7 +495,7 @@ def seed_segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:
         return Tensor._wrap(out_data)
 
     def grad_fn(g):
-        full = np.empty(x.shape)
+        full = np.empty(x.shape, dtype=g.dtype)
         for k in range(num_seeds):
             np.take(g[k], ids, axis=0, out=full[k], mode="clip")
         return full

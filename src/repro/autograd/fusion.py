@@ -1,0 +1,495 @@
+"""Chunked, expression-fused elementwise execution.
+
+The tape executes elementwise operations eagerly: every ``+``/``*``/
+``relu`` materialises a full-size output before the next op runs.  At
+packed-serving and seed-stacked training shapes those arrays no longer fit
+in L2, so a chain of k elementwise ops pays k round trips through memory —
+the measured wall behind the ``max_nodes=2048`` serving sweet spot and the
+``(K, n, h)`` multi-seed ceiling (see ``ROADMAP.md``).
+
+:class:`FusedExpr` is the fix: a *lazy* expression node that captures a
+chain of elementwise ops (add / sub / mul / div / relu / exp, which covers
+bias adds, batch-norm affine stages and the GIN ``(1 + eps)`` combine)
+without evaluating anything.  Calling :meth:`FusedExpr.eval` compiles the
+chain once into a flat plan of ufunc steps and executes it over **row
+chunks** sized to stay cache-resident: each chunk is written straight into
+its slice of the output buffer and every subsequent op runs in place on
+that hot slice.  One pass through memory, no full-size temporaries.
+
+Two guarantees make the executor safe to drop into existing code paths:
+
+* **Chunked == unchunked, bitwise.**  Every output element is produced by
+  the same scalar operations in the same order regardless of the chunk
+  size — chunking only changes *when* a row is processed, never *how*.
+  ``tests/test_fusion.py`` asserts exact equality across chunk sizes.
+* **Fused == eager, bitwise (same dtype).**  The plan applies exactly the
+  op sequence the eager tensor chain would (``np.add``, ``np.multiply``,
+  ``np.maximum(x, 0)``, ...), so replacing an eager chain with its fused
+  expression cannot change results — which is what lets the serving
+  engine and the batched multi-seed trainer adopt fusion with their
+  bitwise parity suites intact.
+
+:meth:`FusedExpr.tensor` is the taped entry point: the same chunked
+forward, recorded as a *single* tape node whose hand-written backward
+reproduces the eager chain's adjoint arithmetic exactly (products in the
+same order, broadcast reductions via the same :func:`_unbroadcast`), so
+``backward()`` through a fused node matches the op-by-op chain bitwise.
+
+The dtype policy (``float64`` default, ``float32`` compute mode — see
+:func:`repro.autograd.tensor.compute_dtype`) composes with the executor:
+chunk sizes are derived from the element size, so a float32 evaluation
+fits twice the rows per cache-resident chunk.  ``docs/ARCHITECTURE.md``
+("Fused elementwise execution") documents the design.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, _unbroadcast, is_grad_enabled
+
+__all__ = [
+    "FUSION_CHUNK_BYTES",
+    "FusedExpr",
+    "fuse",
+    "chunk_rows_for",
+    "chunk_ranges",
+    "chunked_elementwise",
+    "training_chunking_enabled",
+]
+
+#: Per-chunk working-set budget in bytes.  2 MiB keeps a chunk (plus the
+#: operand rows streaming alongside it) resident in a modern per-core
+#: L2 slice while amortising the per-chunk dispatch overhead;
+#: benchmarks/bench_fusion.py records the sweep behind the value.
+FUSION_CHUNK_BYTES = 1 << 21
+
+_state = threading.local()
+
+
+def training_chunking_enabled() -> bool:
+    """Whether taped forwards should evaluate elementwise stages in chunks.
+
+    Off by default: single-graph training batches are small enough that
+    chunking is pure overhead.  The batched multi-seed trainers switch it
+    on around their epoch loops (``(K, n, h)`` activations are the shapes
+    that fall out of L2) — results are bitwise identical either way.
+    """
+    return getattr(_state, "train_chunking", False)
+
+
+@contextlib.contextmanager
+def chunked_elementwise(enabled: bool = True):
+    """Context manager enabling chunked evaluation inside taped forwards."""
+    previous = training_chunking_enabled()
+    _state.train_chunking = bool(enabled)
+    try:
+        yield
+    finally:
+        _state.train_chunking = previous
+
+
+def chunk_rows_for(shape, itemsize: int, target_bytes: int = FUSION_CHUNK_BYTES) -> int:
+    """Rows per chunk along the row axis of ``shape`` that fit the budget.
+
+    The row axis is the second-to-last axis (the sample/node axis of
+    ``(n, h)`` activations and ``(K, n, h)`` seed stacks); all other axes
+    ride along inside each chunk.  Always returns at least 1.
+    """
+    shape = tuple(shape)
+    if not shape:
+        return 1
+    axis = _chunk_axis(len(shape))
+    n = shape[axis]
+    elems = 1
+    for i, dim in enumerate(shape):
+        if i != axis:
+            elems *= dim
+    row_bytes = max(elems * itemsize, 1)
+    return max(1, min(n, target_bytes // row_bytes))
+
+
+def chunk_ranges(num_rows: int, rows_per_chunk: int):
+    """Yield ``(lo, hi)`` half-open row ranges covering ``num_rows``."""
+    rows_per_chunk = max(1, int(rows_per_chunk))
+    for lo in range(0, num_rows, rows_per_chunk):
+        yield lo, min(lo + rows_per_chunk, num_rows)
+
+
+def _chunk_axis(ndim: int) -> int:
+    return max(0, ndim - 2)
+
+
+# Op table: kind -> (ufunc applied as ufunc(buf, operand, out=buf) for
+# binary ops, ufunc(buf, out=buf) for unary).  "rsub" flips the operand
+# order; "relu" is np.maximum(buf, 0.0).
+_BINARY = {
+    "add": np.add,
+    "sub": np.subtract,
+    "rsub": np.subtract,
+    "mul": np.multiply,
+    "div": np.true_divide,
+}
+_UNARY = {
+    "relu": None,   # np.maximum(buf, 0.0, out=buf)
+    "exp": np.exp,
+}
+
+
+class _Op:
+    """One compiled elementwise step of a fused chain."""
+
+    __slots__ = ("kind", "operand", "operand_data", "sliced")
+
+    def __init__(self, kind: str, operand=None):
+        self.kind = kind
+        self.operand = operand                     # Tensor | ndarray | scalar | None
+        if operand is None:
+            self.operand_data = None
+        elif isinstance(operand, Tensor):
+            self.operand_data = operand.data
+        else:
+            self.operand_data = np.asarray(operand)
+        self.sliced = False                        # resolved at plan time
+
+
+class FusedExpr:
+    """A lazy chain of elementwise ops over one leaf array or tensor.
+
+    Build with :func:`fuse` and the chaining methods, then materialise::
+
+        out = fuse(x).sub(mean).div(std).mul(gamma).add(beta).relu().eval()
+
+    ``eval`` returns a raw ndarray (the tape-free hot path);
+    :meth:`tensor` returns a :class:`~repro.autograd.tensor.Tensor` and
+    records a single tape node when any participant requires grad.
+
+    Operands may be scalars, ndarrays or Tensors; every operand must
+    broadcast *into* the leaf's shape (the chain never grows the output —
+    the restriction that makes single-buffer in-place chunking sound).
+    """
+
+    __slots__ = ("leaf", "ops", "_plan")
+
+    def __init__(self, leaf, ops=None):
+        self.leaf = leaf
+        self.ops: list[_Op] = list(ops) if ops is not None else []
+        self._plan = None
+
+    # ------------------------------------------------------------------
+    # Chain builders
+    # ------------------------------------------------------------------
+    def _push(self, kind: str, operand=None) -> "FusedExpr":
+        op = _Op(kind, operand)
+        if op.operand_data is not None:
+            shape = self._leaf_data().shape
+            try:
+                widened = np.broadcast_shapes(shape, op.operand_data.shape)
+            except ValueError:
+                widened = None
+            if widened != shape:
+                raise ValueError(
+                    f"fused operand of shape {op.operand_data.shape} does not "
+                    f"broadcast into the leaf shape {shape}"
+                )
+        self.ops.append(op)
+        self._plan = None
+        return self
+
+    def add(self, operand) -> "FusedExpr":
+        """Append ``+ operand``."""
+        return self._push("add", operand)
+
+    def sub(self, operand) -> "FusedExpr":
+        """Append ``- operand``."""
+        return self._push("sub", operand)
+
+    def rsub(self, operand) -> "FusedExpr":
+        """Append ``operand - current``."""
+        return self._push("rsub", operand)
+
+    def mul(self, operand) -> "FusedExpr":
+        """Append ``* operand`` (also the ``scale`` op for scalars)."""
+        return self._push("mul", operand)
+
+    scale = mul
+
+    def div(self, operand) -> "FusedExpr":
+        """Append ``/ operand``."""
+        return self._push("div", operand)
+
+    def relu(self) -> "FusedExpr":
+        """Append ``max(·, 0)``."""
+        return self._push("relu")
+
+    def exp(self) -> "FusedExpr":
+        """Append ``exp(·)``."""
+        return self._push("exp")
+
+    __add__ = add
+    __sub__ = sub
+    __mul__ = mul
+    __truediv__ = div
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _leaf_data(self) -> np.ndarray:
+        data = self.leaf.data if isinstance(self.leaf, Tensor) else self.leaf
+        return data if isinstance(data, np.ndarray) else np.asarray(data)
+
+    def _compile(self):
+        """Resolve the result dtype and which operands slice per chunk."""
+        if self._plan is not None:
+            return self._plan
+        leaf = self._leaf_data()
+        shape = leaf.shape
+        axis = _chunk_axis(leaf.ndim)
+        # Fold the dtype exactly as the eager chain would.  A chain whose
+        # intermediate dtype differs from the final one (mixed-precision
+        # operands mid-chain) cannot run in a single typed buffer without
+        # changing the arithmetic; those chains fall back to whole-array
+        # sequential evaluation (uniform_dtype=False).
+        dtype = leaf.dtype
+        uniform = True
+        for op in self.ops:
+            if op.operand_data is not None:
+                stepped = np.result_type(dtype, op.operand_data.dtype)
+                if stepped != dtype and dtype != leaf.dtype:
+                    uniform = False
+                dtype = stepped
+        if dtype != leaf.dtype:
+            # Promotion on the very first operand is fine (the buffer is
+            # typed once); promotion later in the chain is not.
+            first = self.ops[0].operand_data if self.ops else None
+            promoted_at_first = first is not None and np.result_type(leaf.dtype, first.dtype) == dtype
+            if not promoted_at_first:
+                uniform = False
+        n_axis = shape[axis] if shape else 1
+        for op in self.ops:
+            data = op.operand_data
+            if data is None:
+                op.sliced = False
+                continue
+            if 0 < data.ndim < leaf.ndim:
+                # Left-pad to the leaf's rank (a free reshape view) so an
+                # operand whose leading axis lands on the chunk axis —
+                # e.g. (n, 1) against a (K, n, h) leaf — can be sliced
+                # per chunk instead of colliding with a partial chunk.
+                data = data.reshape((1,) * (leaf.ndim - data.ndim) + data.shape)
+                op.operand_data = data
+            op.sliced = (
+                data.ndim == leaf.ndim
+                and leaf.ndim > 0
+                and data.shape[axis] == n_axis
+                and n_axis > 1
+            )
+        self._plan = (shape, axis, np.dtype(dtype), uniform)
+        return self._plan
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def _apply_ops(self, src: np.ndarray, buf: np.ndarray, lo: int, hi: int, axis: int, save: dict | None) -> None:
+        """Run the op chain from ``src`` into ``buf`` (rows ``lo:hi`` of out).
+
+        The first op reads straight from the leaf slice and writes the
+        output buffer — fusing the load with op 0, one full pass cheaper
+        than copy-then-apply — and every later op runs in place on the
+        cache-hot buffer.  Identical ufunc applications to the eager
+        chain, so results are bitwise equal.
+        """
+        index = [slice(None)] * max(buf.ndim, 1)
+        if buf.ndim:
+            index[axis] = slice(lo, hi)
+        rows = tuple(index[: buf.ndim])
+        for i, op in enumerate(self.ops):
+            inp = src if i == 0 else buf
+            if save is not None and save.get(i) is not None:
+                save[i][rows] = inp
+            kind = op.kind
+            if kind == "relu":
+                np.maximum(inp, 0.0, out=buf)
+            elif kind == "exp":
+                np.exp(inp, out=buf)
+            else:
+                operand = op.operand_data
+                if op.sliced:
+                    operand = operand[rows]
+                if kind == "rsub":
+                    np.subtract(operand, inp, out=buf)
+                else:
+                    _BINARY[kind](inp, operand, out=buf)
+
+    def eval(self, out: np.ndarray | None = None, chunk_rows: int | None = None) -> np.ndarray:
+        """Materialise the chain; chunked, forward-only, no tape.
+
+        ``chunk_rows`` overrides the dtype-aware default (``None``); pass
+        ``0`` to force a single chunk.  The result is bitwise identical
+        for every chunking choice.
+        """
+        return self._evaluate(out=out, chunk_rows=chunk_rows, save=None)
+
+    def _evaluate(self, out=None, chunk_rows=None, save=None) -> np.ndarray:
+        leaf = self._leaf_data()
+        shape, axis, dtype, uniform = self._compile()
+        if not uniform:
+            # Mixed-dtype chain: preserve eager semantics op by op.
+            buf = leaf.copy() if self.ops else leaf.astype(dtype, copy=True)
+            result = buf
+            for i, op in enumerate(self.ops):
+                if save is not None and save.get(i) is not None:
+                    save[i][...] = result
+                if op.kind == "relu":
+                    result = np.maximum(result, 0.0)
+                elif op.kind == "exp":
+                    result = np.exp(result)
+                elif op.kind == "rsub":
+                    result = op.operand_data - result
+                else:
+                    result = _BINARY[op.kind](result, op.operand_data)
+            if out is not None:
+                out[...] = result
+                return out
+            return np.asarray(result, dtype=dtype)
+        if out is None:
+            out = np.empty(shape, dtype=dtype)
+        n = shape[axis] if shape else 1
+        if chunk_rows is None:
+            rows = chunk_rows_for(shape, dtype.itemsize)
+        elif chunk_rows <= 0:
+            rows = n
+        else:
+            rows = chunk_rows
+        index = [slice(None)] * max(len(shape), 1)
+        for lo, hi in chunk_ranges(n, rows):
+            index[axis] = slice(lo, hi)
+            sl = tuple(index[: len(shape)]) if shape else ()
+            buf = out[sl] if shape else out
+            src = leaf[sl] if shape else leaf
+            if not self.ops:
+                np.copyto(buf, src, casting="same_kind")
+                continue
+            self._apply_ops(src, buf, lo, hi, axis, save)
+        return out
+
+    # ------------------------------------------------------------------
+    # Taped entry point
+    # ------------------------------------------------------------------
+    def _tracked(self):
+        parts = []
+        if isinstance(self.leaf, Tensor) and (self.leaf.requires_grad or self.leaf._parents):
+            parts.append(self.leaf)
+        for op in self.ops:
+            t = op.operand
+            if isinstance(t, Tensor) and (t.requires_grad or t._parents):
+                parts.append(t)
+        return parts
+
+    def tensor(self, chunk_rows: int | None = None) -> Tensor:
+        """Evaluate as a single tape node (or a slim tensor when untaped).
+
+        The forward is the same chunked kernel as :meth:`eval`.  When the
+        tape is live, the node saves exactly the intermediates its
+        backward needs (the input of each ``mul``/``div`` with a tracked
+        operand, the pre-activation of each ``relu``, the output of each
+        ``exp``) — the same values the eager op-by-op chain would have
+        kept alive — and the backward sweep replays the eager adjoints:
+        elementwise products in the same order, broadcast reductions via
+        the same ``_unbroadcast``, so gradients match the unfused chain
+        bitwise.
+        """
+        tracked = self._tracked()
+        if not (is_grad_enabled() and tracked):
+            return Tensor._wrap(self.eval(chunk_rows=chunk_rows))
+        shape, axis, dtype, _uniform = self._compile()
+        # Which op *inputs* must be saved for the backward sweep: the relu
+        # mask source, the multiplicand/dividend when the operand needs a
+        # gradient, and the argument of any non-terminal exp (its output
+        # is recomputed as exp(input); a terminal exp reuses out_data).
+        last = len(self.ops) - 1
+        leaf_data = self._leaf_data()
+        save: dict[int, np.ndarray | None] = {}
+        for i, op in enumerate(self.ops):
+            operand_tracked = isinstance(op.operand, Tensor) and (
+                op.operand.requires_grad or op.operand._parents
+            )
+            if (
+                op.kind == "relu"
+                or (op.kind in ("mul", "div") and operand_tracked)
+                or (op.kind == "exp" and i != last)
+            ):
+                # Op 0's input is the leaf itself (no copy needed) when
+                # dtypes agree; later ops save a full-size snapshot — the
+                # same values the eager chain would have kept alive.
+                save[i] = None if (i == 0 and leaf_data.dtype == dtype) else np.empty(shape, dtype=dtype)
+        out_data = self._evaluate(chunk_rows=chunk_rows, save=save)
+        saved = {i: (leaf_data if arr is None else arr) for i, arr in save.items()}
+
+        ops = list(self.ops)
+        leaf = self.leaf
+        # Backward sweep memo: the per-stage upstream gradients are shared
+        # by every parent closure; keyed on the incoming gradient's
+        # identity (strong reference keeps the key alive), computed once.
+        memo: dict = {}
+
+        def stage_grads(g):
+            entry = memo.get("g")
+            if entry is not None and entry[0] is g:
+                return entry[1]
+            gs = [None] * (len(ops) + 1)
+            gs[len(ops)] = g
+            cur = g
+            for i in range(len(ops) - 1, -1, -1):
+                op = ops[i]
+                kind = op.kind
+                if kind == "relu":
+                    cur = cur * (saved[i] > 0)
+                elif kind == "exp":
+                    cur = cur * (out_data if i == len(ops) - 1 else np.exp(saved[i]))
+                elif kind == "mul":
+                    cur = cur * op.operand_data
+                elif kind == "div":
+                    cur = cur / op.operand_data
+                elif kind == "rsub":
+                    cur = -cur
+                # add / sub: gradient passes through unchanged.
+                gs[i] = cur
+            memo["g"] = (g, gs)
+            return gs
+
+        parents = []
+        if isinstance(leaf, Tensor) and (leaf.requires_grad or leaf._parents):
+            leaf_shape = leaf.data.shape
+            parents.append((leaf, lambda g: _unbroadcast(stage_grads(g)[0], leaf_shape)))
+        for i, op in enumerate(ops):
+            t = op.operand
+            if not (isinstance(t, Tensor) and (t.requires_grad or t._parents)):
+                continue
+            t_shape = t.data.shape
+            kind = op.kind
+
+            def operand_grad(g, i=i, kind=kind, t_shape=t_shape):
+                g_out = stage_grads(g)[i + 1]
+                if kind in ("add", "rsub"):
+                    contrib = g_out
+                elif kind == "sub":
+                    contrib = -g_out
+                elif kind == "mul":
+                    contrib = g_out * saved[i]
+                elif kind == "div":
+                    contrib = -g_out * saved[i] / (ops[i].operand_data ** 2)
+                else:  # pragma: no cover - unary ops carry no operand
+                    return None
+                return _unbroadcast(contrib, t_shape)
+
+            parents.append((t, operand_grad))
+        return Tensor._make(out_data, parents)
+
+
+def fuse(leaf) -> FusedExpr:
+    """Start a fused elementwise chain from ``leaf`` (Tensor or ndarray)."""
+    return FusedExpr(leaf)

@@ -26,6 +26,59 @@ def is_grad_enabled() -> bool:
     return getattr(_state, "grad_enabled", True)
 
 
+_SUPPORTED_DTYPES = {"float64": np.float64, "float32": np.float32}
+
+
+def as_compute_dtype(dtype) -> np.dtype:
+    """Normalise a user-facing dtype spec to a supported numpy dtype.
+
+    Accepts ``"float64"``/``"float32"`` strings, numpy dtypes/scalar types
+    and ``None`` (the current default).  The compute policy is exactly
+    two-valued — float64 is the reference precision, float32 the fast
+    serving mode — so anything else is rejected here, once, with a clear
+    message instead of failing deep inside a kernel.
+    """
+    if dtype is None:
+        return get_default_dtype()
+    resolved = np.dtype(dtype)
+    if resolved.name not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {resolved.name!r}; choose float64 or float32"
+        )
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype floating-point tensor data is coerced to (default float64)."""
+    return getattr(_state, "default_dtype", None) or np.dtype(np.float64)
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the coercion dtype for this thread (prefer :func:`compute_dtype`)."""
+    _state.default_dtype = as_compute_dtype(dtype)
+
+
+@contextlib.contextmanager
+def compute_dtype(dtype):
+    """Context manager selecting the float compute precision.
+
+    Inside ``compute_dtype(np.float32)`` every :class:`Tensor` constructed
+    from float data (inputs, forward-time constants like normalisation
+    coefficients) is stored as float32, so arithmetic between them stays
+    in float32 end to end.  Operation *results* always keep the dtype
+    numpy derives from their operands — the context only governs the
+    coercion boundary.  The serving engine wraps its forwards in this
+    context (``InferenceEngine(dtype="float32")``); training defaults to
+    float64, the precision the parity suites pin down.
+    """
+    previous = getattr(_state, "default_dtype", None)
+    _state.default_dtype = as_compute_dtype(dtype)
+    try:
+        yield
+    finally:
+        _state.default_dtype = previous
+
+
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables tape recording (like ``torch.no_grad``)."""
@@ -103,9 +156,9 @@ class Tensor:
             data = data.data
         arr = np.asarray(data)
         if arr.dtype.kind in "fc":
-            arr = arr.astype(np.float64, copy=False)
+            arr = arr.astype(get_default_dtype(), copy=False)
         elif requires_grad:
-            arr = arr.astype(np.float64)
+            arr = arr.astype(get_default_dtype())
         enabled = is_grad_enabled()
         self.data = arr
         self.grad = None
@@ -198,8 +251,17 @@ class Tensor:
 
     @staticmethod
     def _make(data, parents) -> "Tensor":
+        # Slim construction: operation results are fresh ndarrays whose
+        # dtype numpy already derived from the operands, so the
+        # constructor's coercion to the default dtype is skipped — this is
+        # what lets float32 activations flow through taped ops unchanged.
         live = [(p, fn) for p, fn in parents if p.requires_grad or p._parents]
-        out = Tensor(data, requires_grad=bool(live), _parents=live)
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.grad = None
+        out.requires_grad = bool(live)
+        out._parents = live
+        out.name = ""
         return out
 
     # ------------------------------------------------------------------
@@ -237,7 +299,8 @@ class Tensor:
                 )
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad_dtype = self.data.dtype if self.data.dtype.kind == "f" else np.float64
+            grad = np.asarray(grad, dtype=grad_dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
@@ -447,6 +510,8 @@ class Tensor:
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         """Elementwise leaky ReLU with the given negative slope."""
         factor = np.where(self.data > 0, 1.0, negative_slope)
+        if self.data.dtype.kind == "f":
+            factor = factor.astype(self.data.dtype, copy=False)
         out_data = self.data * factor
         if not self._needs_tape():
             return Tensor._wrap(out_data)
@@ -628,7 +693,7 @@ class Tensor:
         shape = self.shape
 
         def grad_fn(g):
-            full = np.zeros(shape, dtype=np.float64)
+            full = np.zeros(shape, dtype=g.dtype if g.dtype.kind == "f" else np.float64)
             if isinstance(index, np.ndarray) and index.ndim == 1 and index.dtype.kind in "iu":
                 # Row gather (the message-passing hot path): route through
                 # the sparse-matmul/bincount scatter, much faster than

@@ -34,27 +34,31 @@ centred.  Two evaluation strategies are implemented:
   - n mu_i mu_i^T``.  No ``O(n p^2)`` work is left inside the inner loop —
   the Section 3.2 linearity claim with a 20x-amortised constant.
 
-The dual evaluation is **blocked**: ``P`` and ``R`` are never materialised
-as full ``(n, n)`` matrices.  Instead the engine streams over row blocks of
-the cached Gram, accumulating per-row losses and gradient row-dots into
-``(n,)`` buffers, so the per-evaluation scratch is bounded by
-:data:`DUAL_GRAM_BLOCK_ELEMENTS` no matter how large the batch is.  (Every
-row is processed inside exactly one block, so the result is bitwise
-independent of the block size — ``tests/test_seed_batched_reweight.py``
-asserts blocked == unblocked exactly.)  This removes the former
-``DUAL_MODE_MAX_GRAM_ELEMENTS`` hard cap: dual mode now runs n = 4096 and
-beyond, paying only the unavoidable ``O(n^2)`` Gram *storage*, which is
-what buys the per-epoch amortisation in the first place.
+The dual evaluation uses the *moment form* in both engines: everything
+feature-dependent is cached once per batch — the Gram ``K``, its
+elementwise square ``K o K`` and the per-dimension feature pair-products —
+after which each inner-loop evaluation collapses to matvecs against those
+caches (``s1 = (K o K) w^2``, ``s3 = K (w^2 v)``, ``s2 = K w = n v``; see
+:class:`SeedFusedDecorrelation` for the full expansion).  ``P`` and ``R``
+are never materialised, not even block-wise: no ``O(n^2)`` or ``O(n p^2)``
+intermediate survives inside the loop.  The per-epoch matvecs against the
+cached Grams stream over row blocks (:attr:`FusedDecorrelation.block_rows`);
+every output element is an independent full-row dot product, so results
+are bitwise independent of the block size — the same invariant the former
+blocked P/R evaluation guaranteed, asserted by
+``tests/test_seed_batched_reweight.py``.  Explicit dual mode is never
+size-capped (n = 4096+ runs fine, paying only the ``O(n^2)`` cache
+storage that buys the amortisation); batches whose feature rows are all
+identical take an exact rank-one path in both engines, keeping the
+gradient bitwise zero at uniform weights (Adam would amplify the moment
+expansion's roundoff residue into weight drift).
 
 :class:`SeedFusedDecorrelation` is the seed-batched variant of the same
 engine: it evaluates K independent inner loops over a ``(K, n, d, Q)``
 feature stack as batched GEMMs/einsums — one numpy dispatch per quantity
-instead of K — sharing the block-off-diagonal mask, and restructures the
-dual Gram path into *moment form* (cached ``K o K`` and feature
-pair-products, per-epoch work reduced to batched matvecs; see the class
-docstring) so no ``O(n^2)`` intermediate survives inside the loop at all.
-It is what makes the multi-seed OOD-GNN trainer's Algorithm 1 vectorise
-end-to-end (``docs/ARCHITECTURE.md``).
+instead of K — sharing the block-off-diagonal mask.  It is what makes the
+multi-seed OOD-GNN trainer's Algorithm 1 vectorise end-to-end
+(``docs/ARCHITECTURE.md``).
 
 The engines are exercised against the taped reference by
 ``tests/test_fused_decorrelation.py`` and against K scalar engines by
@@ -116,13 +120,13 @@ class FusedDecorrelation:
         ``(n, d, Q)`` random features of the (standardised) representations,
         fixed for the lifetime of the engine — one engine per inner loop.
     mode:
-        ``"auto"`` picks ``"dual"`` (sample-space Gram, precomputed ``K``)
-        when the batch is small relative to the feature width and the
-        ``(n, n)`` Gram is within the auto-mode memory preference, else
+        ``"auto"`` picks ``"dual"`` (sample-space moment caches) when the
+        batch is small relative to the feature width and the Gram-shaped
+        caches are within the auto-mode memory preference, else
         ``"primal"``.  Explicit ``"dual"`` is never size-capped: the
-        evaluation streams over row blocks of the cached Gram.
+        per-epoch moment matvecs stream over row blocks of the caches.
     block_rows:
-        Rows per dual-evaluation block.  Defaults to whatever fits the
+        Rows per streamed matvec block.  Defaults to whatever fits the
         :data:`DUAL_GRAM_BLOCK_ELEMENTS` scratch budget; results are
         bitwise identical for any value.
     """
@@ -138,44 +142,70 @@ class FusedDecorrelation:
             raise ValueError("need at least two representation dimensions to decorrelate")
         self.n, self.num_dims, self.q = n, d, q
         self.p = d * q
-        self.x3 = feats
-        self.x = feats.reshape(n, self.p)
-        self.mode = _pick_mode(mode, n, self.p)
+        # Auto-mode memory preference accounts for every dual-mode cache:
+        # two Gram-shaped arrays (K and K o K), the pair-product cache and
+        # the transposed-feature scratch (the moment-form layout ported
+        # from SeedFusedDecorrelation).
+        num_pairs = q * (q + 1) // 2
+        cache_elements = n * (2 * n + d * num_pairs + d * q)
+        self.mode = _pick_mode(mode, n, self.p, gram_elements=cache_elements)
         if self.mode == "dual":
-            # The only O(n^2 p) work: done once, amortised over the loop.
-            self._k = self.x @ self.x.T
-            # Blocked scratch, reused across the whole inner loop so the
-            # hot path never allocates O(n^2) intermediates.
-            b = self.block_rows = _block_rows(n, block_rows)
-            self._t = np.empty((b, n))
-            self._r = np.empty((b, n))
-            self._p = np.empty((b, n))
-            self._rowloss = np.empty(n)
-            self._rowmain = np.empty(n)
-            self._y3 = np.empty_like(self.x3)
-            self._bd = np.empty((d, q, q))
+            pair_a, pair_b = np.triu_indices(q)
+            self._pair_a, self._pair_b = pair_a, pair_b
+            self._pair_coef = np.where(pair_a == pair_b, 1.0, 2.0)
+            self._k = np.empty((n, n))
+            self._k2 = np.empty((n, n))
+            self._ppt = np.empty((d * len(pair_a), n))
+            self._ft = np.empty((d, q, n))
+            # Row-block size for streaming the cached Grams during the
+            # per-epoch moment matvecs; every row's dot product is
+            # independent, so results are bitwise identical for any value.
+            self.block_rows = _block_rows(n, block_rows)
         else:
             self._mask = cached_block_offdiagonal_mask(d, q)
+        self._install(feats)
+
+    def _install(self, feats: np.ndarray) -> None:
+        n, d = self.n, self.num_dims
+        self.x3 = feats
+        self.x = feats.reshape(n, self.p)
+        if self.mode == "dual":
+            # The once-per-batch feature-dependent caches (O(n^2 p) work,
+            # amortised over the loop): the Gram, its elementwise square
+            # and the per-dimension feature pair products, all written
+            # into the persistent buffers.
+            np.matmul(self.x, self.x.T, out=self._k)
+            np.multiply(self._k, self._k, out=self._k2)
+            ft = self._ft
+            np.copyto(ft, feats.transpose(1, 2, 0))
+            ppt = self._ppt.reshape(d, len(self._pair_a), self.n)
+            for s, (a, b) in enumerate(zip(self._pair_a, self._pair_b)):
+                np.multiply(ft[:, a, :], ft[:, b, :], out=ppt[:, s, :])
+            # Constant-feature batches (all rows identical) take the exact
+            # rank-one path in _dual — the moment expansion's cancellation
+            # residue is ~1e-13 there while the true gradient at uniform
+            # weights is *exactly* zero, and Adam amplifies any nonzero
+            # residue into weight drift (same guard as the seed engine).
+            self._const_rows = bool(
+                (self.x[1] == self.x[0]).all() and (self.x == self.x[:1]).all()
+            )
 
     def refresh(self, features: np.ndarray) -> "FusedDecorrelation":
         """Swap in fresh same-shape features, reusing every cached buffer.
 
         Only the feature-dependent state is recomputed — in dual mode the
-        sample-space Gram ``K = X X^T`` (written into the existing buffer).
-        The scratch arrays, mask and mode decision are feature-independent
-        and survive; this is what makes ``resample_rff=True`` (fresh random
-        features every inner epoch) pay one Gram matmul instead of a full
-        engine rebuild per epoch.  Returns ``self`` for chaining.
+        Gram/moment caches (written into the existing buffers).  The pair
+        index vectors, mask and mode decision are feature-independent and
+        survive; this is what makes ``resample_rff=True`` (fresh random
+        features every inner epoch) pay one cache rebuild instead of a
+        full engine rebuild per epoch.  Returns ``self`` for chaining.
         """
         feats = np.ascontiguousarray(np.asarray(features, dtype=np.float64))
         if feats.shape != (self.n, self.num_dims, self.q):
             raise ValueError(
                 f"refresh features shape {feats.shape} != engine shape {(self.n, self.num_dims, self.q)}"
             )
-        self.x3 = feats
-        self.x = feats.reshape(self.n, self.p)
-        if self.mode == "dual":
-            np.matmul(self.x, self.x.T, out=self._k)
+        self._install(feats)
         return self
 
     # ------------------------------------------------------------------
@@ -196,47 +226,94 @@ class FusedDecorrelation:
         return float(loss), grad
 
     # ------------------------------------------------------------------
-    # Dual (sample-space) evaluation: blocked streaming over the Gram
+    # Dual (sample-space) evaluation in moment form (ported from the
+    # seed-batched engine): per-epoch work = two streamed matvecs against
+    # the cached Grams plus pair-product contractions — no O(n^2)
+    # intermediate is materialised inside the loop.
     # ------------------------------------------------------------------
+    def _moment_matvec(self, mat: np.ndarray, vec: np.ndarray) -> np.ndarray:
+        """Row-blocked ``mat @ vec`` streamed over the cached Gram.
+
+        Each output element is an independent full-row dot product
+        (einsum's sequential per-element accumulation), so the result is
+        bitwise identical for every ``block_rows`` — the same invariant
+        the former blocked P/R evaluation guaranteed.
+        """
+        out = np.empty(mat.shape[0])
+        for lo in range(0, mat.shape[0], self.block_rows):
+            hi = min(lo + self.block_rows, mat.shape[0])
+            np.einsum("bm,m->b", mat[lo:hi], vec, out=out[lo:hi])
+        return out
+
     def _dual(self, w: np.ndarray, with_grad: bool):
         n, d, q, nm1 = self.n, self.num_dims, self.q, self.n - 1.0
+        if self._const_rows:
+            return self._constant_rows_eval(w, with_grad)
+        w2 = w * w
         mu = (self.x.T @ w) / n           # (p,) column means of diag(w) X
         v = self.x @ mu                   # (n,)
         wv = w * v
         c = mu @ mu
-        rowloss, rowmain = self._rowloss, self._rowmain
-        for lo in range(0, n, self.block_rows):
-            hi = min(lo + self.block_rows, n)
-            rows = hi - lo
-            t = self._t[:rows]
-            p_blk = self._p[:rows]
-            np.multiply(self._k[lo:hi], w[None, :], out=t)   # K diag(w) rows
-            np.multiply(t, w[lo:hi, None], out=p_blk)
-            p_blk -= wv[lo:hi, None]
-            p_blk -= wv[None, :]
-            p_blk += c                                        # P rows
-            np.einsum("bm,bm->b", p_blk, p_blk, out=rowloss[lo:hi])
-            if with_grad:
-                r_blk = self._r[:rows]
-                np.subtract(t, v[lo:hi, None], out=r_blk)     # R rows
-                np.einsum("bm,bm->b", p_blk, r_blk, out=rowmain[lo:hi])
-        # Block diagonal of the raw feature Gram: G_ii = F_i^T diag(w^2) F_i
-        # - n mu_i mu_i^T, batched over the d dimensions.
-        y3, bd = self._y3, self._bd
-        np.multiply(self.x3, (w * w)[:, None, None], out=y3)
-        np.matmul(y3.transpose(1, 2, 0), self.x3.transpose(1, 0, 2), out=bd)
+        # The cached-moment matvecs: s1 against K o K, s3 against K, and
+        # s2 = K w = n v needs no work at all.
+        s1 = self._moment_matvec(self._k2, w2)
+        s3 = self._moment_matvec(self._k, w2 * v)
+        s2 = n * v
+        sum_wv = wv.sum()
+        sum_wv2 = wv @ wv
+        beta = c - wv
+        rowloss = (
+            w2 * s1 + sum_wv2 + n * beta * beta - 2.0 * w * s3
+            + 2.0 * (w * beta) * s2 - 2.0 * beta * sum_wv
+        )
+        # Block diagonal G_ii = F_i^T diag(w^2) F_i - n mu_i mu_i^T via the
+        # pair-product cache: one matvec, then the rank-one part.
+        num_pairs = len(self._pair_a)
+        bd = (self._ppt @ w2).reshape(d, num_pairs)
         mu3 = mu.reshape(d, q)
-        bd -= n * mu3[:, :, None] * mu3[:, None, :]
-        loss = 0.5 / nm1**2 * (rowloss.sum() - np.einsum("iqr,iqr->", bd, bd))
+        bd -= n * (mu3[:, self._pair_a] * mu3[:, self._pair_b])
+        loss = 0.5 / nm1**2 * (
+            rowloss.sum() - np.einsum("is,is,s->", bd, bd, self._pair_coef)
+        )
         if not with_grad:
             return float(loss), None
-        # rowdot(A G, X) via P and R; block-diagonal correction via bd.
-        xbd = np.matmul(self.x3.transpose(1, 0, 2), bd)   # (d, n, Q)
-        t1 = np.einsum("inq,niq->n", xbd, self.x3)
-        e = np.einsum("iq,iqr->ir", mu3, bd)
-        t2 = np.einsum("niq,iq->n", self.x3, e)
+        rowmain = w * s1 - s3 + beta * s2 - v * (w * s2 - sum_wv + n * beta)
+        # Correction row-dots sum_i f_ni^T B_i f_ni and sum_i f_ni^T B_i mu_i
+        # as matvecs against the pair-product cache / the flat features.
+        t1 = (bd * self._pair_coef).reshape(-1) @ self._ppt
+        bd_full = np.empty((d, q, q))
+        bd_full[:, self._pair_a, self._pair_b] = bd
+        bd_full[:, self._pair_b, self._pair_a] = bd
+        e = np.einsum("iq,iqr->ir", mu3, bd_full)
+        t2 = self.x @ e.reshape(self.p)
         grad = (rowmain - (w * t1 - t2)) * (2.0 / nm1**2)
         return float(loss), grad
+
+    def _constant_rows_eval(self, w: np.ndarray, with_grad: bool):
+        """Exact rank-one evaluation when every feature row is identical.
+
+        With every row equal to ``x``, ``A = (w - mean(w)) x^T`` so, with
+        ``s = sum (w - mean(w))^2``, ``t = ||x||^2`` and ``b_i = ||x_i||^2``,
+
+            L = s^2 (t^2 - sum_i b_i^2) / (2 (n-1)^2)
+            dL/dw_n = 2 s (t^2 - sum_i b_i^2) (w_n - mean(w)) / (n-1)^2
+
+        which is exactly zero at uniform weights — bitwise, because the
+        deviations themselves are — matching the seed engine's guard
+        against Adam amplifying the moment expansion's roundoff residue.
+        """
+        nm1 = self.n - 1.0
+        xv = self.x3[0]                                # (d, q) shared row
+        blocks = np.einsum("iq,iq->i", xv, xv)         # b_i = ||x_i||^2
+        total = blocks.sum()
+        q_val = total * total - blocks @ blocks
+        dev = w - w.mean()
+        s = dev @ dev
+        loss = float(0.5 / nm1**2 * s * s * q_val)
+        if not with_grad:
+            return loss, None
+        grad = (2.0 / nm1**2) * (s * q_val) * dev
+        return loss, grad
 
     # ------------------------------------------------------------------
     # Public surface

@@ -14,17 +14,44 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.autograd import functional as F
 from repro.graph.data import GraphBatch
 from repro.graph.segment import segment_sum
 from repro.nn.module import Module, ModuleList
-from repro.nn.layers import Linear, MLP, BatchNorm1d, Dropout, SeedLinear, register_seed_stacker, stack_seed_modules
+from repro.nn.layers import (
+    Linear,
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    ReLU,
+    SeedLinear,
+    fused_sequential_forward,
+    register_seed_stacker,
+    stack_seed_modules,
+)
 from repro.encoders.pooling import (
     global_sum_pool,
     global_mean_pool,
     global_max_pool,
 )
+
+# Shared stateless ReLU for the fused conv epilogues below (activations
+# carry no parameters, so one instance serves every encoder).
+_RELU = ReLU()
+
+
+def _fused_conv_epilogue(norm, dropout, x):
+    """Serving fast path for the post-conv chain of every encoder.
+
+    Runs eval batch-norm (when present) + ReLU (+ inactive dropout) as
+    one chunked elementwise kernel via :func:`fused_sequential_forward`
+    — bitwise equal to the op-by-op chain.  Tape-free callers only.
+    """
+    layers = ([norm] if norm is not None else []) + [_RELU]
+    if dropout is not None:
+        layers.append(dropout)
+    return fused_sequential_forward(layers, x)
 
 __all__ = [
     "GraphEncoder",
@@ -97,8 +124,14 @@ class StackedEncoder(GraphEncoder):
     def node_embeddings(self, batch: GraphBatch) -> Tensor:
         """Node-level representations after all conv layers."""
         x = self.embed(Tensor(batch.x))
+        fused_epilogue = not is_grad_enabled()
         for i, conv in enumerate(self.convs):
             x = conv(x, batch.edge_index, batch.num_nodes)
+            if fused_epilogue:
+                x = _fused_conv_epilogue(
+                    self.norms[i] if self.norms is not None else None, self.dropout, x
+                )
+                continue
             if self.norms is not None:
                 x = self.norms[i](x)
             x = x.relu()
@@ -169,8 +202,15 @@ class SeedStackedEncoder(GraphEncoder):
 
     def node_embeddings(self, batch: GraphBatch) -> Tensor:
         x = self.embed(Tensor(batch.x))  # (K, total_nodes, h)
+        fused_epilogue = not is_grad_enabled()
         for i, conv in enumerate(self.convs):
             x = conv(x, batch.edge_index, batch.num_nodes)
+            if fused_epilogue:
+                # Seed-stacked serving fast path: same shared epilogue.
+                x = _fused_conv_epilogue(
+                    self.norms[i] if self.norms is not None else None, self.dropout, x
+                )
+                continue
             if self.norms is not None:
                 x = self.norms[i](x)
             x = x.relu()
@@ -220,10 +260,14 @@ class VirtualNodeEncoder(GraphEncoder):
     def node_embeddings(self, batch: GraphBatch) -> Tensor:
         x = self.embed(Tensor(batch.x))
         virtual = Tensor(np.zeros((batch.num_graphs, self.hidden_dim)))
+        fused_epilogue = not is_grad_enabled()
         for i, conv in enumerate(self.convs):
             x = x + virtual[batch.batch]
             x = conv(x, batch.edge_index, batch.num_nodes)
-            x = self.norms[i](x).relu()
+            if fused_epilogue:
+                x = _fused_conv_epilogue(self.norms[i], None, x)
+            else:
+                x = self.norms[i](x).relu()
             if self.dropout is not None:
                 x = self.dropout(x)
             if i < len(self.vn_updates):

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.autograd import functional as F
+from repro.autograd import fusion
 from repro.graph.segment import segment_sum, segment_mean, segment_max
 from repro.graph.utils import add_self_loops, gcn_norm_coefficients, degrees
 from repro.nn.module import Module, Parameter
@@ -60,15 +61,12 @@ class GINConv(Module):
         src, dst = edge_index if edge_index.size else (np.zeros(0, dtype=np.int64),) * 2
         aggregated = segment_sum(x[src], dst, num_nodes) if edge_index.size else x * 0.0
         if self.eps is not None:
-            if not is_grad_enabled():
-                # Tape-free fast path: same ops ((1 + eps) * x, then
-                # + aggregated) accumulated in place — bitwise equal to
-                # the taped chain with one fewer full-size temporary.
-                combined_data = x.data * (self.eps.data + 1.0)
-                combined_data += aggregated.data
-                combined = Tensor._wrap(combined_data)
-            else:
-                combined = x * (self.eps + 1.0) + aggregated
+            # The GIN combine epilogue as one fused node: tape-free it is
+            # a single chunked kernel; taped it records one node whose
+            # backward replays the eager chain's adjoints (products and
+            # broadcast reductions in the same order), so both modes are
+            # bitwise equal to the unfused ``x * (1 + eps) + aggregated``.
+            combined = fusion.fuse(x).mul(self.eps + 1.0).add(aggregated).tensor()
         else:
             combined = x + aggregated
         return self.mlp(combined)
@@ -138,9 +136,15 @@ def _seed_eps_combine(x: Tensor, eps: Tensor, aggregated: Tensor) -> Tensor:
     ``(K, n, h)`` product over the sample axis first and the feature axis
     second — the association the per-seed broadcast adjoint uses — so the
     batched run stays bitwise equal to K sequential :class:`GINConv` runs.
+    The forward routes through the chunked elementwise executor when the
+    trainer enables it (or the tape is off) — bitwise equal either way,
+    cache-resident at large ``(K, n, h)`` stacks.
     """
     xd, ed, ad = x.data, eps.data, aggregated.data
-    out_data = xd * (ed + 1.0)[:, :, None] + ad
+    if fusion.training_chunking_enabled() or not is_grad_enabled():
+        out_data = fusion.fuse(xd).mul((ed + 1.0)[:, :, None]).add(ad).eval()
+    else:
+        out_data = xd * (ed + 1.0)[:, :, None] + ad
     tracked = [t for t in (x, eps, aggregated) if t.requires_grad or t._parents]
     if not (is_grad_enabled() and tracked):
         return Tensor(out_data)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
 from repro.autograd import functional as F
+from repro.autograd import fusion
 from repro.nn import init
 from repro.nn.module import Module, Parameter, Sequential
 
@@ -42,6 +43,7 @@ __all__ = [
     "stack_seed_modules",
     "try_stack_seed_modules",
     "SeedStackingError",
+    "fused_sequential_forward",
 ]
 
 
@@ -162,8 +164,24 @@ def _bn_train_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: f
     centered = x - mean
     var = (centered * centered).mean(axis=axis, keepdims=True)
     std = np.sqrt(var + eps)
-    xhat = centered / std
-    out = xhat * gamma + beta
+    if fusion.training_chunking_enabled():
+        # Chunked normalisation epilogue: one cache-resident pass writes
+        # both xhat (saved for the backward) and the output, instead of
+        # two full-size sweeps.  Same per-element ops -> bitwise equal.
+        xhat = np.empty_like(centered)
+        out = np.empty_like(centered)
+        rows = fusion.chunk_rows_for(centered.shape, centered.dtype.itemsize)
+        index = [slice(None)] * centered.ndim
+        chunk_axis = max(0, centered.ndim - 2)
+        for lo, hi in fusion.chunk_ranges(centered.shape[chunk_axis], rows):
+            index[chunk_axis] = slice(lo, hi)
+            sl = tuple(index)
+            np.true_divide(centered[sl], std if std.shape[chunk_axis] == 1 else std[sl], out=xhat[sl])
+            np.multiply(xhat[sl], gamma, out=out[sl])
+            out[sl] += beta
+    else:
+        xhat = centered / std
+        out = xhat * gamma + beta
     return out, mean, var, centered, std, xhat
 
 
@@ -201,20 +219,31 @@ class BatchNorm1d(Module):
         self.running_mean = np.zeros(num_features, dtype=np.float64)
         self.running_var = np.ones(num_features, dtype=np.float64)
 
+    def _append_eval_ops(self, expr: "fusion.FusedExpr") -> "fusion.FusedExpr":
+        """Extend a fused chain with this layer's eval normalisation.
+
+        The op sequence (centre, divide by sqrt(var + eps), scale, shift)
+        is exactly the eval tensor chain's, so fusing it — alone or behind
+        a preceding bias add — cannot change results.
+        """
+        return (
+            expr.sub(self.running_mean)
+            .div(np.sqrt(self.running_var + self.eps))
+            .mul(self.gamma.data)
+            .add(self.beta.data)
+        )
+
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
         if not (self.training and x.shape[0] > 1):
             if not is_grad_enabled():
                 # Tape-free eval fast path: the same op sequence (centre,
-                # divide by sqrt(var + eps), scale, shift) applied in place
-                # on one output buffer — bitwise equal to the tensor chain
-                # below, with one allocation instead of four (the eval BN
-                # chain is memory-bound at packed-batch shapes).
-                out = x.data - self.running_mean
-                out /= np.sqrt(self.running_var + self.eps)
-                out *= self.gamma.data
-                out += self.beta.data
-                return Tensor._wrap(out)
+                # divide by sqrt(var + eps), scale, shift) as one fused,
+                # row-chunked kernel — bitwise equal to the tensor chain
+                # below, one cache-resident pass instead of four full
+                # sweeps (the eval BN chain is memory-bound at
+                # packed-batch shapes).
+                return Tensor._wrap(self._append_eval_ops(fusion.fuse(x.data)).eval())
             mean = Tensor(self.running_mean)
             var = Tensor(self.running_var)
             normalised = (x - mean) / (var + self.eps).sqrt()
@@ -271,6 +300,69 @@ class Embedding(Module):
         return self.weight[ids]
 
 
+def fused_sequential_forward(layers, x) -> Tensor:
+    """Tape-free fused walk over a chain of layers (the serving hot path).
+
+    Walks ``layers`` accumulating elementwise stages (bias adds, eval
+    batch-norm affines, ReLU) into one lazy :class:`~repro.autograd.fusion.FusedExpr`
+    per GEMM, so a ``Linear -> BatchNorm -> ReLU`` block runs as one
+    matmul plus a single chunked elementwise pass instead of ~six
+    full-size sweeps.  Layers outside the fusable set (other activations,
+    training-mode batch norm, active dropout) flush the pending chain and
+    run normally, so the walk is safe for any roster — and because every
+    fused stage applies exactly the ops the eager chain would, outputs
+    are bitwise identical (``tests/test_fusion.py``).
+
+    Only call with the tape disabled; the taped path must record per-op
+    (or explicit fused-node) history instead.
+    """
+    data = x.data if isinstance(x, Tensor) else np.asarray(x)
+    expr = None
+
+    def flush():
+        nonlocal data, expr
+        if expr is not None:
+            data = expr.eval()
+            expr = None
+
+    def pending():
+        nonlocal expr
+        if expr is None:
+            expr = fusion.fuse(data)
+        return expr
+
+    for layer in layers:
+        if isinstance(layer, Linear):
+            flush()
+            data = data @ layer.weight.data
+            if layer.bias is not None:
+                expr = fusion.fuse(data).add(layer.bias.data)
+        elif isinstance(layer, SeedLinear):
+            flush()
+            data = np.matmul(data, layer.weight.data)
+            if layer.bias is not None:
+                expr = fusion.fuse(data).add(layer.bias.data[:, None, :])
+        elif isinstance(layer, BatchNorm1d) and not (layer.training and _rows(data, 0) > 1):
+            expr = layer._append_eval_ops(pending())
+        elif isinstance(layer, SeedBatchNorm1d) and not (layer.training and _rows(data, 1) > 1):
+            expr = layer._append_eval_ops(pending())
+        elif isinstance(layer, ReLU):
+            expr = pending().relu()
+        elif isinstance(layer, Identity):
+            continue
+        elif isinstance(layer, Dropout) and not (layer.training and layer.p > 0):
+            continue
+        else:
+            flush()
+            data = layer(Tensor._wrap(data)).data
+    flush()
+    return Tensor._wrap(data)
+
+
+def _rows(data: np.ndarray, axis: int) -> int:
+    return data.shape[axis] if data.ndim > axis else 1
+
+
 class MLP(Module):
     """Multi-layer perceptron with optional batch norm and dropout.
 
@@ -310,6 +402,9 @@ class MLP(Module):
         self.dims = list(dims)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            # Serving fast path: GEMM + one fused epilogue per block.
+            return fused_sequential_forward(self.net, as_tensor(x))
         return self.net(x)
 
 
@@ -476,17 +571,22 @@ class SeedBatchNorm1d(Module):
         out.running_var = np.stack([l.running_var for l in layers])
         return out
 
+    def _append_eval_ops(self, expr: "fusion.FusedExpr") -> "fusion.FusedExpr":
+        """Per-seed eval normalisation as fused-chain ops (see BatchNorm1d)."""
+        return (
+            expr.sub(self.running_mean[:, None, :])
+            .div(np.sqrt(self.running_var + self.eps)[:, None, :])
+            .mul(self.gamma.data[:, None, :])
+            .add(self.beta.data[:, None, :])
+        )
+
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
         if not (self.training and x.shape[1] > 1):
             if not is_grad_enabled():
-                # Tape-free eval fast path, in place, bitwise equal to the
-                # chain below (see BatchNorm1d).
-                out = x.data - self.running_mean[:, None, :]
-                out /= np.sqrt(self.running_var + self.eps)[:, None, :]
-                out *= self.gamma.data[:, None, :]
-                out += self.beta.data[:, None, :]
-                return Tensor._wrap(out)
+                # Tape-free eval fast path: one fused chunked kernel,
+                # bitwise equal to the chain below (see BatchNorm1d).
+                return Tensor._wrap(self._append_eval_ops(fusion.fuse(x.data)).eval())
             mean = Tensor(self.running_mean)
             var = Tensor(self.running_var)
             normalised = (x - mean.unsqueeze(1)) / (var + self.eps).sqrt().unsqueeze(1)
@@ -536,6 +636,9 @@ class SeedMLP(Module):
         return cls(Sequential(*stacked), template.dims)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            # Serving fast path: batched GEMM + fused epilogue per block.
+            return fused_sequential_forward(self.net, as_tensor(x))
         return self.net(x)
 
 

@@ -92,6 +92,36 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every float parameter and buffer to ``dtype``, in place.
+
+        The dtype-propagation half of the compute-dtype policy (see
+        :func:`repro.autograd.compute_dtype`): once a model's parameters
+        and buffers are float32, every GEMM and elementwise op on them
+        produces float32 activations.  Non-float buffers (e.g. scalar
+        hyper-parameters recorded as buffers) are left untouched.
+        Returns ``self`` for chaining.
+        """
+        from repro.autograd.tensor import as_compute_dtype
+
+        dtype = as_compute_dtype(dtype)
+        for p in self.parameters():
+            if p.data.dtype.kind == "f" and p.data.dtype != dtype:
+                p.data = p.data.astype(dtype)
+        for module in self.modules():
+            for name in module._buffer_names:
+                value = getattr(module, name)
+                if isinstance(value, np.ndarray) and value.dtype.kind == "f" and value.dtype != dtype:
+                    setattr(module, name, value.astype(dtype))
+        return self
+
+    @property
+    def param_dtype(self):
+        """Dtype of the first parameter (None for parameter-free modules)."""
+        for p in self.parameters():
+            return p.data.dtype
+        return None
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------

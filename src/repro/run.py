@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="after training, save all seeds as one serving artifact "
         "(seed-ensemble bundle consumed by `python -m repro.serve`)",
     )
+    parser.add_argument(
+        "--artifact-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="with --export-artifact: weight precision of the saved bundle "
+        "(float32 halves the file and serves in the fast float32 mode by default)",
+    )
     parser.add_argument("--list", action="store_true", help="list datasets and methods, then exit")
     return parser
 
@@ -107,8 +114,13 @@ def main(argv=None) -> int:
             seeds=result.seeds,
             metadata={"dataset": sample.info.name, "epochs": args.epochs},
         )
+        if args.artifact_dtype != "float64":
+            artifact = artifact.astype(args.artifact_dtype)
         written = artifact.save(args.export_artifact)
-        print(f"artifact: {written} ({len(result.seeds)} seed{'s' if len(result.seeds) != 1 else ''})")
+        print(
+            f"artifact: {written} ({len(result.seeds)} seed"
+            f"{'s' if len(result.seeds) != 1 else ''}, {artifact.dtype.name})"
+        )
 
     mode = " [batched]" if args.batched_seeds else ""
     print(f"dataset: {sample.info.name}  metric: {sample.info.metric}  "

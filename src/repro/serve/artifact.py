@@ -185,6 +185,48 @@ class ModelArtifact:
         """Number of seed members in the (possibly single-member) ensemble."""
         return len(self.seeds)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the bundled weights (float64 unless cast).
+
+        Part of the compute-dtype policy: the serving engine defaults its
+        precision to this value, so a float32 artifact serves in float32
+        without any flag (``InferenceEngine(artifact)``).
+        """
+        for state in self.states:
+            for value in state.values():
+                arr = np.asarray(value)
+                if arr.dtype.kind == "f":
+                    return arr.dtype
+        return np.dtype(np.float64)
+
+    def astype(self, dtype) -> "ModelArtifact":
+        """Return a copy with every float weight/buffer cast to ``dtype``.
+
+        The float32 bundle is half the size on disk and serves in float32
+        by default; casting is lossy in the float64 -> float32 direction
+        (documented tolerance bounds in docs/ARCHITECTURE.md).
+        """
+        from repro.autograd.tensor import as_compute_dtype
+
+        dtype = as_compute_dtype(dtype)
+
+        def cast(mapping):
+            out = {}
+            for name, value in mapping.items():
+                arr = np.asarray(value)
+                out[name] = arr.astype(dtype) if arr.dtype.kind == "f" else arr.copy()
+            return out
+
+        return ModelArtifact(
+            self.spec,
+            self.schema,
+            [cast(s) for s in self.states],
+            [cast(b) for b in self.buffers],
+            self.seeds,
+            dict(self.metadata),
+        )
+
     def __repr__(self):
         return (
             f"ModelArtifact(method={self.spec.method!r}, seeds={self.seeds}, "
@@ -248,6 +290,10 @@ class ModelArtifact:
             "spec": self.spec.to_dict(),
             "schema": self.schema.to_dict(),
             "seeds": list(self.seeds),
+            # Informational (arrays carry their dtype; readers that
+            # predate the field simply ignore it): lets tooling report the
+            # serving precision without loading the weights.
+            "dtype": self.dtype.name,
             "user": self.metadata,
         }
         return save_state(stacked_state, path, metadata=metadata, buffers=stacked_buffers)

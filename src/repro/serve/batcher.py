@@ -16,7 +16,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["BatchBudget", "plan_microbatches", "MicroBatcher"]
+import numpy as np
+
+__all__ = ["BatchBudget", "plan_microbatches", "MicroBatcher", "default_max_nodes", "FLOAT64_MAX_NODES"]
+
+#: Measured cache-residency sweet spot of the packed forward at float64:
+#: ``benchmarks/BENCH_inference.json`` shows the unbounded 64x256-node
+#: pack *losing* to ~2048-node packs because a 2048-row float64
+#: activation set (2048 x 64 hidden = ~1 MiB per live array) is the
+#: largest that stays L2/L3-resident across the elementwise chain
+#: between GEMMs.
+FLOAT64_MAX_NODES = 2048
+
+
+def default_max_nodes(dtype=np.float64) -> int:
+    """Dtype-derived micro-batch node cap (2048 at float64, 4096 at float32).
+
+    The measured wall is *bytes* of packed activation streaming through
+    cache, not node count (:data:`FLOAT64_MAX_NODES` records the float64
+    measurement; see ``benchmarks/bench_inference.py``'s full-pack
+    decomposition), so the cap scales inversely with the element size —
+    a float32 forward fits twice the nodes in the same footprint.
+    """
+    itemsize = np.dtype(dtype).itemsize
+    return int(FLOAT64_MAX_NODES * np.dtype(np.float64).itemsize // max(itemsize, 1))
 
 
 @dataclass(frozen=True)

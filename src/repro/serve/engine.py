@@ -34,11 +34,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.autograd.tensor import inference_mode
+from repro.autograd.tensor import as_compute_dtype, compute_dtype, inference_mode
 from repro.graph.data import Graph, GraphBatch
 from repro.nn.layers import try_stack_seed_modules
 from repro.serve.artifact import FeatureSchema, ModelArtifact
-from repro.serve.batcher import BatchBudget, MicroBatcher, plan_microbatches
+from repro.serve.batcher import BatchBudget, MicroBatcher, default_max_nodes, plan_microbatches
 from repro.serve.ood import EnergyCalibration, energy_score, fit_energy_threshold
 
 __all__ = ["Prediction", "InferenceEngine"]
@@ -113,11 +113,22 @@ class InferenceEngine:
         constructed models, e.g. straight after training.)
     max_graphs / max_nodes:
         Micro-batch budgets (:class:`~repro.serve.batcher.BatchBudget`).
-        The default node cap keeps each packed forward's activations
-        cache-resident — benchmarks/bench_inference.py measures the
-        unbounded full pack *losing* to moderate packs at ~256-node
-        graphs because packed activations start streaming through memory.
-        Pass ``max_nodes=None`` to pack purely by graph count.
+        The default node cap (``"auto"``) is derived from the compute
+        dtype via :func:`~repro.serve.batcher.default_max_nodes` — 2048
+        at float64, 4096 at float32 — and keeps each packed forward's
+        activations cache-resident: benchmarks/bench_inference.py
+        measures the unbounded full pack *losing* to moderate packs at
+        ~256-node graphs because packed activations start streaming
+        through memory.  Pass ``max_nodes=None`` to pack purely by graph
+        count, or an explicit integer to override.
+    dtype:
+        Compute precision: ``"float64"`` (the training/reference
+        precision), ``"float32"`` (the fast serving mode: parameters,
+        buffers and every forward activation are cast, roughly doubling
+        effective cache capacity and GEMM throughput at a documented
+        output tolerance — see docs/ARCHITECTURE.md), or ``None``
+        (default: the artifact's stored dtype, float64 for in-memory
+        models).
     flush_timeout:
         Queue front-end only: seconds after the first pending request
         before a partially filled batch runs anyway.
@@ -135,7 +146,8 @@ class InferenceEngine:
         models=None,
         schema: FeatureSchema | None = None,
         max_graphs: int = 64,
-        max_nodes: int | None = 2048,
+        max_nodes: int | None | str = "auto",
+        dtype=None,
         flush_timeout: float = 0.01,
         temperature: float = 1.0,
         calibration: EnergyCalibration | None = None,
@@ -143,12 +155,20 @@ class InferenceEngine:
         if artifact is not None:
             models = artifact.build_models()
             schema = artifact.schema
+            if dtype is None:
+                dtype = artifact.dtype
+        self.dtype = as_compute_dtype(dtype)
         if not models or schema is None:
             raise ValueError("need either an artifact or explicit models + schema")
         self.schema = schema
         self.models = list(models)
         for model in self.models:
             model.eval()
+            model.to_dtype(self.dtype)
+        if isinstance(max_nodes, str):
+            if max_nodes != "auto":
+                raise ValueError(f"max_nodes must be an int, None or 'auto', got {max_nodes!r}")
+            max_nodes = default_max_nodes(self.dtype)
         self.budget = BatchBudget(max_graphs=max_graphs, max_nodes=max_nodes)
         if flush_timeout <= 0:
             # Validated here, not first inside the worker thread: a bad
@@ -167,7 +187,10 @@ class InferenceEngine:
             else None
         )
         if self._stacked is not None:
+            # Stacked constructors coerce to the default (float64) dtype;
+            # re-apply the engine precision to the stacked parameter bank.
             self._stacked.eval()
+            self._stacked.to_dtype(self.dtype)
         self._queue: queue.Queue | None = None
         self._worker: threading.Thread | None = None
         # Serialises submit() against stop(): without it a submit that
@@ -188,8 +211,14 @@ class InferenceEngine:
     # Forward
     # ------------------------------------------------------------------
     def _forward(self, batch: GraphBatch) -> np.ndarray:
-        """Per-seed logits ``(K, num_graphs, out_dim)`` for one packed batch."""
-        with inference_mode():
+        """Per-seed logits ``(K, num_graphs, out_dim)`` for one packed batch.
+
+        Runs tape-free under the engine's compute dtype: inside the
+        :func:`~repro.autograd.tensor.compute_dtype` context the batch
+        features and every forward-time constant are coerced to the
+        engine precision, so a float32 engine computes float32 end to end.
+        """
+        with inference_mode(), compute_dtype(self.dtype):
             if self._stacked is not None:
                 return self._stacked(batch).data
             if len(self.models) == 1:
