@@ -9,11 +9,22 @@ stdout line, micro-batched through the worker-thread queue)::
 
     cat requests.jsonl | python -m repro.serve model.npz --stdin
 
+Networked mode (threaded HTTP front-end, see :mod:`repro.serve.net`)::
+
+    python -m repro.serve model.npz --http --port 8732 --workers 4
+
+``--workers 0`` serves in-process; ``--workers K`` runs K worker
+processes over one shared-memory weight bank
+(:class:`~repro.serve.pool.WorkerPool`).  SIGTERM/SIGINT drain
+gracefully: health goes 503, in-flight requests finish, queues flush.
+
 A request graph is ``{"x": [[...], ...], "edge_index": [[srcs], [dsts]]}``
 (``x`` rows are node feature vectors; ``edge_index`` may be omitted for an
 edgeless graph).  Each response line carries the prediction, per-class
 probabilities, the energy OOD score, and — when calibrated via
-``--calibrate`` or ``--energy-threshold`` — the OOD flag.
+``--calibrate`` or ``--energy-threshold`` — the OOD flag.  Malformed or
+schema-invalid requests answer in place (an ``{"error": ...}`` stream
+line / HTTP 400) and never take the server down.
 """
 
 from __future__ import annotations
@@ -21,15 +32,16 @@ from __future__ import annotations
 import argparse
 import json
 import queue
+import signal
 import sys
 import threading
 
-import numpy as np
-
-from repro.graph.data import Graph
 from repro.serve.artifact import ModelArtifact
-from repro.serve.engine import InferenceEngine, Prediction, _PendingPrediction
+from repro.serve.engine import InferenceEngine, _PendingPrediction
 from repro.serve.ood import EnergyCalibration
+# Re-exported for backwards compatibility: the wire format moved to
+# repro.serve.wire so the HTTP layer and pool share it.
+from repro.serve.wire import graph_from_json, result_to_json
 
 __all__ = ["build_parser", "graph_from_json", "result_to_json", "main"]
 
@@ -44,6 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--input", help="JSON file with a list of request graphs (one-shot mode)")
     mode.add_argument("--stdin", action="store_true", help="read JSON-lines requests from stdin")
+    mode.add_argument("--http", action="store_true", help="serve over HTTP (POST /predict, GET /stats)")
+    parser.add_argument("--host", default="127.0.0.1", help="--http: bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8732, help="--http: TCP port (default 8732; 0 = ephemeral)")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="--http: worker processes over one shared-memory weight bank "
+        "(default 0 = serve in-process)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="--http: bounded inflight queue (admission control; over it "
+        "requests shed with 429).  Default: 256 in-process, "
+        "4*workers*max_graphs pooled",
+    )
     parser.add_argument("--max-graphs", type=int, default=64, help="micro-batch graph budget (default 64)")
     parser.add_argument(
         "--max-nodes", type=int, default=None,
@@ -76,37 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def graph_from_json(payload: dict) -> Graph:
-    """Build a request :class:`Graph` from its JSON object."""
-    if "x" not in payload:
-        raise ValueError("request graph needs an 'x' field (node feature rows)")
-    edge_index = payload.get("edge_index")
-    if edge_index is None:
-        edge_index = np.zeros((2, 0), dtype=np.int64)
-    return Graph(x=np.asarray(payload["x"], dtype=np.float64), edge_index=np.asarray(edge_index))
-
-
-def _load_graphs(path: str) -> list[Graph]:
+def _load_graphs(path: str) -> list:
     with open(path) as fh:
         payload = json.load(fh)
     if isinstance(payload, dict):
         payload = payload.get("graphs", [payload])
     return [graph_from_json(obj) for obj in payload]
-
-
-def result_to_json(result: Prediction) -> dict:
-    """JSON-serialisable view of one prediction."""
-    label = result.label
-    if isinstance(label, np.ndarray):
-        label = label.tolist()
-    payload = {
-        "prediction": label,
-        "output": np.asarray(result.output).tolist(),
-        "probs": None if result.probs is None else np.asarray(result.probs).tolist(),
-        "energy": result.energy,
-        "ood": result.is_ood,
-    }
-    return payload
 
 
 def main(argv=None) -> int:
@@ -143,6 +144,9 @@ def main(argv=None) -> int:
             print(json.dumps(result_to_json(result)))
         return 0
 
+    if args.http:
+        return _serve_http(args, artifact, engine, max_nodes)
+
     # Streaming mode: submit each line to the queue front-end (so bursts
     # coalesce into packed forwards).  A dedicated drainer thread prints
     # results in arrival order as they complete — the reader blocks on
@@ -171,7 +175,7 @@ def main(argv=None) -> int:
             if not line:
                 continue
             try:
-                handle = engine.submit(graph_from_json(json.loads(line)))
+                handle = engine.submit(graph_from_json(json.loads(line), schema=engine.schema))
             except Exception as err:
                 # One malformed or schema-invalid line answers with an
                 # error response in stream position; the server lives on.
@@ -182,6 +186,56 @@ def main(argv=None) -> int:
         engine.stop()
         handles.put(_done)
         drainer.join()
+    return 0
+
+
+def _serve_http(args, artifact, engine, max_nodes, stop: threading.Event | None = None) -> int:
+    """``--http`` mode: bind, serve, drain on SIGTERM/SIGINT.
+
+    ``stop`` injects the shutdown trigger for embedders and tests (set it
+    to drain); when provided, no signal handlers are installed — handlers
+    only work on the main thread anyway.
+    """
+    from repro.serve.net import EngineBackend, serve_http
+
+    if args.workers > 0:
+        from repro.serve.pool import WorkerPool
+
+        backend = WorkerPool(
+            artifact,
+            num_workers=args.workers,
+            dtype=None if args.dtype == "artifact" else args.dtype,
+            max_graphs=args.max_graphs,
+            max_nodes=max_nodes,
+            flush_timeout=args.flush_timeout,
+            queue_depth=args.queue_depth,
+            temperature=args.temperature,
+            calibration=engine.calibration,
+        ).start()
+    else:
+        backend = EngineBackend(engine, queue_depth=args.queue_depth or 256)
+    server = serve_http(
+        backend, schema=artifact.schema, host=args.host, port=args.port
+    )
+    print(
+        f"serving {args.artifact} on {server.url} "
+        f"({args.workers or 'no'} worker processes; SIGTERM drains)",
+        file=sys.stderr,
+    )
+    if stop is None:
+        stop = threading.Event()
+
+        def _request_drain(_signum, _frame) -> None:
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _request_drain)
+        signal.signal(signal.SIGINT, _request_drain)
+    # Poll-wait so the signal handler always gets a bytecode boundary to
+    # run on, then drain outside handler context.
+    while not stop.wait(timeout=0.2):
+        pass
+    print("draining: health 503, flushing in-flight requests", file=sys.stderr)
+    server.drain()
     return 0
 
 

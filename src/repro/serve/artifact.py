@@ -77,7 +77,15 @@ class FeatureSchema:
         return cls(**payload)
 
     def validate_graph(self, graph: Graph) -> None:
-        """Raise ``ValueError`` when a request graph does not fit the model."""
+        """Raise ``ValueError`` when a request graph does not fit the model.
+
+        Re-checks edge-index bounds even though :class:`Graph` validates
+        them at construction: serving boundaries also see graphs whose
+        ``edge_index`` was replaced after construction, and an
+        out-of-range endpoint that slips through surfaces as a cryptic
+        numpy gather error (or silent cross-graph read after batch
+        offsetting) deep inside the packed forward.
+        """
         if graph.num_features != self.feature_dim:
             raise ValueError(
                 f"request graph has {graph.num_features} node features, "
@@ -85,6 +93,14 @@ class FeatureSchema:
             )
         if graph.num_nodes < 1:
             raise ValueError("request graph has no nodes")
+        if graph.num_edges:
+            lo = int(graph.edge_index.min())
+            hi = int(graph.edge_index.max())
+            if lo < 0 or hi >= graph.num_nodes:
+                raise ValueError(
+                    f"request graph edge indices [{lo}, {hi}] out of range "
+                    f"for {graph.num_nodes} nodes"
+                )
 
 
 @dataclass(frozen=True)
@@ -328,13 +344,19 @@ class ModelArtifact:
     # ------------------------------------------------------------------
     # Reconstruction
     # ------------------------------------------------------------------
-    def build_models(self) -> list:
-        """Reconstruct the per-seed models, in eval mode, ready to serve."""
+    def build_models(self, copy: bool = True) -> list:
+        """Reconstruct the per-seed models, in eval mode, ready to serve.
+
+        ``copy=False`` installs the artifact's arrays into the models
+        without copying (zero-copy views — e.g. into a shared-memory
+        weight bank, see :class:`repro.serve.pool.SharedWeights`); only
+        safe for eval-mode inference.
+        """
         models = []
         for state, buffers in zip(self.states, self.buffers):
             model = self.spec.build(self.schema)
-            model.load_state_dict(state)
-            model.load_buffer_dict(buffers)
+            model.load_state_dict(state, copy=copy)
+            model.load_buffer_dict(buffers, copy=copy)
             model.eval()
             models.append(model)
         return models

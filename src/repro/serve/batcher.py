@@ -102,6 +102,19 @@ class MicroBatcher:
     flushes the pending batch and fills its own).  ``deadline`` is the
     absolute time by which the pending batch must flush; ``flush`` empties
     it unconditionally.
+
+    All times are caller-injected instants on one **monotonic** clock
+    (``time.monotonic()`` in production): a wall-clock step — NTP
+    adjustment, suspend/resume — must never stall a flush window or
+    instantly expire one.  The batcher itself never reads a clock, which
+    is also what makes the policy unit-testable without sleeping.
+
+    Per-request deadlines ride along: ``add(..., deadline=...)`` records
+    the absolute instant after which the request must not be served, and
+    :meth:`expire` sweeps out overdue entries so the caller can answer
+    them with a timeout instead of serving them late.  ``next_wake``
+    folds both signals — flush deadline and earliest request deadline —
+    into the single instant the serving loop should sleep until.
     """
 
     def __init__(self, budget: BatchBudget, flush_timeout: float = 0.01):
@@ -110,6 +123,8 @@ class MicroBatcher:
         self.budget = budget
         self.flush_timeout = flush_timeout
         self._pending: list = []
+        self._node_counts: list[int] = []
+        self._deadlines: list[float | None] = []
         self._nodes = 0
         self._deadline: float | None = None
 
@@ -121,12 +136,30 @@ class MicroBatcher:
         """Absolute flush time of the pending batch (None when empty)."""
         return self._deadline
 
-    def add(self, item, num_nodes: int, now: float) -> list[list]:
+    def next_wake(self, now: float) -> float | None:
+        """Earliest instant the caller must act: flush or expire a request.
+
+        The minimum of the batch flush deadline and every pending
+        request's own deadline (None when the batch is empty).  Waking at
+        a request deadline lets the loop answer it with a timeout the
+        moment it expires rather than after the flush window.
+        """
+        if not self._pending:
+            return None
+        wake = self._deadline
+        for deadline in self._deadlines:
+            if deadline is not None and (wake is None or deadline < wake):
+                wake = deadline
+        return wake
+
+    def add(self, item, num_nodes: int, now: float, deadline: float | None = None) -> list[list]:
         """Admit one request; return batches that are now full."""
         ready: list[list] = []
         if self._pending and not self.budget.admits(len(self._pending), self._nodes, num_nodes):
             ready.append(self.flush())
         self._pending.append(item)
+        self._node_counts.append(int(num_nodes))
+        self._deadlines.append(None if deadline is None else float(deadline))
         self._nodes += int(num_nodes)
         if self._deadline is None:
             self._deadline = now + self.flush_timeout
@@ -136,10 +169,40 @@ class MicroBatcher:
             ready.append(self.flush())
         return ready
 
+    def expire(self, now: float) -> list:
+        """Remove and return every pending item whose deadline has passed.
+
+        Expired requests stop counting against the node budget, so a
+        batch that was closed only by a now-dead oversized request can
+        keep admitting live ones.  An emptied batch resets its flush
+        deadline — the window belongs to requests, not to ghosts.
+        """
+        expired: list = []
+        if not self._pending:
+            return expired
+        keep_items, keep_nodes, keep_deadlines = [], [], []
+        for item, nodes, deadline in zip(self._pending, self._node_counts, self._deadlines):
+            if deadline is not None and now >= deadline:
+                expired.append(item)
+            else:
+                keep_items.append(item)
+                keep_nodes.append(nodes)
+                keep_deadlines.append(deadline)
+        if expired:
+            self._pending = keep_items
+            self._node_counts = keep_nodes
+            self._deadlines = keep_deadlines
+            self._nodes = sum(keep_nodes)
+            if not self._pending:
+                self._deadline = None
+        return expired
+
     def flush(self) -> list:
         """Empty the pending batch and return its items (possibly none)."""
         batch = self._pending
         self._pending = []
+        self._node_counts = []
+        self._deadlines = []
         self._nodes = 0
         self._deadline = None
         return batch

@@ -39,11 +39,16 @@ from repro.graph.data import Graph, GraphBatch
 from repro.nn.layers import try_stack_seed_modules
 from repro.serve.artifact import FeatureSchema, ModelArtifact
 from repro.serve.batcher import BatchBudget, MicroBatcher, default_max_nodes, plan_microbatches
+from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult
 from repro.serve.ood import EnergyCalibration, energy_score, fit_energy_threshold
 
 __all__ = ["Prediction", "InferenceEngine"]
 
 _STOP = object()
+
+#: Backwards-compatible alias — the handle type moved to
+#: :mod:`repro.serve.futures` so the worker pool and HTTP layer share it.
+_PendingPrediction = PendingResult
 
 
 @dataclass
@@ -65,32 +70,6 @@ class Prediction:
     label: object
     energy: float | None
     is_ood: bool | None
-
-
-class _PendingPrediction:
-    """Future-like handle returned by :meth:`InferenceEngine.submit`."""
-
-    def __init__(self):
-        self._event = threading.Event()
-        self._result: Prediction | None = None
-        self._error: BaseException | None = None
-
-    def _resolve(self, result: Prediction | None, error: BaseException | None = None) -> None:
-        self._result = result
-        self._error = error
-        self._event.set()
-
-    def done(self) -> bool:
-        """Whether a result (or error) is available."""
-        return self._event.is_set()
-
-    def result(self, timeout: float | None = None) -> Prediction:
-        """Block until the micro-batch containing this request has run."""
-        if not self._event.wait(timeout):
-            raise TimeoutError("prediction not ready within timeout")
-        if self._error is not None:
-            raise self._error
-        return self._result
 
 
 def _stable_softmax(logits: np.ndarray) -> np.ndarray:
@@ -137,6 +116,12 @@ class InferenceEngine:
     calibration:
         Optional pre-fitted :class:`~repro.serve.ood.EnergyCalibration`;
         or call :meth:`calibrate` with held-in graphs.
+    clock:
+        Time source for flush windows and request deadlines.  Must be
+        **monotonic** — the default is :func:`time.monotonic`, never
+        wall-clock ``time.time()``, so an NTP step or suspend/resume can
+        neither stall a flush window nor instantly expire every pending
+        deadline.  Injectable for deterministic tests.
     """
 
     def __init__(
@@ -151,6 +136,7 @@ class InferenceEngine:
         flush_timeout: float = 0.01,
         temperature: float = 1.0,
         calibration: EnergyCalibration | None = None,
+        clock=time.monotonic,
     ):
         if artifact is not None:
             models = artifact.build_models()
@@ -191,10 +177,15 @@ class InferenceEngine:
             # re-apply the engine precision to the stacked parameter bank.
             self._stacked.eval()
             self._stacked.to_dtype(self.dtype)
+        self.clock = clock
         self._queue: queue.Queue | None = None
         self._worker: threading.Thread | None = None
-        # Serialises submit() against stop(): without it a submit that
-        # passed the started-check could enqueue after the stop sentinel
+        # Set when the serve loop dies on an unexpected error; submit()
+        # then fails fast instead of enqueueing into a dead worker.
+        self._loop_error: BaseException | None = None
+        # Serialises submit() against stop() and against loop death:
+        # without it a submit that passed the started-check could enqueue
+        # after the stop sentinel (or after the dying loop's final drain)
         # and strand its waiter forever.
         self._submit_lock = threading.Lock()
 
@@ -318,82 +309,157 @@ class InferenceEngine:
         """Spawn the worker thread behind :meth:`submit`."""
         if self._worker is not None:
             raise RuntimeError("engine already started")
+        self._loop_error = None
         self._queue = queue.Queue()
         self._worker = threading.Thread(target=self._serve_loop, daemon=True)
         self._worker.start()
         return self
 
-    def submit(self, graph: Graph) -> _PendingPrediction:
+    def submit(self, graph: Graph, deadline: float | None = None) -> PendingResult:
         """Enqueue one request; returns a handle with ``.result(timeout)``.
 
         The worker coalesces concurrently queued requests into one packed
         forward (budget- or timeout-bound), so N threads submitting at
         once pay roughly one forward, not N.
+
+        ``deadline`` is an absolute instant on the engine clock
+        (``engine.clock()`` now, i.e. ``time.monotonic()`` by default).
+        A request still pending when its deadline passes is dropped and
+        its handle fails with :class:`~repro.serve.futures.DeadlineExceeded`
+        — serving an answer nobody is waiting for would only delay the
+        requests behind it.
         """
         self.schema.validate_graph(graph)
-        pending = _PendingPrediction()
+        pending = PendingResult()
         with self._submit_lock:
             if self._queue is None:
+                if self._loop_error is not None:
+                    raise EngineStopped(
+                        "engine serve loop died; restart the engine"
+                    ) from self._loop_error
                 raise RuntimeError("call start() before submit()")
-            self._queue.put((graph, pending))
+            self._queue.put((graph, pending, deadline))
         return pending
 
     def stop(self) -> None:
         """Flush pending requests and join the worker thread.
 
         Requests submitted concurrently with ``stop`` either make it into
-        the final flush or are rejected with a ``RuntimeError`` on their
-        handle — never silently dropped.
+        the final flush or are rejected with an
+        :class:`~repro.serve.futures.EngineStopped` on their handle —
+        never silently dropped.
         """
         if self._worker is None:
             return
-        stopped_queue = self._queue
-        stopped_queue.put(_STOP)
+        with self._submit_lock:
+            stopped_queue = self._queue
+        if stopped_queue is not None:
+            stopped_queue.put(_STOP)
         self._worker.join()
         with self._submit_lock:
+            stopped_queue = stopped_queue or self._queue
             self._queue = None
         self._worker = None
-        # Reject anything that raced into the queue behind the sentinel.
+        if stopped_queue is not None:
+            self._drain_queue(stopped_queue, EngineStopped("engine stopped before the request was served"))
+
+    @staticmethod
+    def _drain_queue(stranded_queue: queue.Queue, error: BaseException) -> None:
+        """Reject every request still sitting in ``stranded_queue``."""
         while True:
             try:
-                item = stopped_queue.get_nowait()
+                item = stranded_queue.get_nowait()
             except queue.Empty:
-                break
+                return
             if item is _STOP:
                 continue
-            _graph, pending = item
-            pending._resolve(None, RuntimeError("engine stopped before the request was served"))
+            _graph, pending, _deadline = item
+            pending._resolve(None, error)
 
     def _run_pending(self, items) -> None:
-        if not items:
+        """Serve one micro-batch of ``(graph, handle, deadline)`` items.
+
+        Expired requests are failed with ``DeadlineExceeded`` before the
+        forward; an exception from the packed forward resolves every
+        affected handle with that error and leaves the serve loop alive —
+        one poisoned graph must not take down the engine or strand the
+        requests queued behind it.
+        """
+        now = self.clock()
+        live = []
+        for item in items:
+            graph, pending, deadline = item
+            if deadline is not None and now >= deadline:
+                pending._resolve(None, DeadlineExceeded("request expired before it was served"))
+            else:
+                live.append(item)
+        if not live:
             return
-        graphs = [graph for graph, _pending in items]
+        graphs = [graph for graph, _pending, _deadline in live]
         try:
             batch = GraphBatch.from_graphs(graphs)
             logits = self._forward(batch)
-            predictions = self._combine(range(len(items)), logits)
+            predictions = self._combine(range(len(live)), logits)
         except BaseException as err:  # surface engine errors to every waiter
-            for _graph, pending in items:
+            for _graph, pending, _deadline in live:
                 pending._resolve(None, err)
             return
-        for (_graph, pending), prediction in zip(items, predictions):
+        for (_graph, pending, _deadline), prediction in zip(live, predictions):
             pending._resolve(prediction)
 
     def _serve_loop(self) -> None:
+        """Worker-thread entry: run the loop; on death, strand no handle.
+
+        If the loop body itself fails (an engine bug outside the guarded
+        per-batch forward), every outstanding handle — pending in the
+        batcher *and* still queued — is resolved with ``EngineStopped``
+        and future ``submit()`` calls fail fast, instead of the
+        pre-hardening behaviour where ``.result()`` blocked forever.
+        """
         batcher = MicroBatcher(self.budget, flush_timeout=self.flush_timeout)
+        try:
+            self._serve_loop_inner(batcher)
+        except BaseException as err:
+            with self._submit_lock:
+                self._loop_error = err
+                dead_queue, self._queue = self._queue, None
+            error = EngineStopped("engine serve loop died before the request was served")
+            error.__cause__ = err
+            for _graph, pending, _deadline in batcher.flush():
+                pending._resolve(None, error)
+            if dead_queue is not None:
+                self._drain_queue(dead_queue, error)
+
+    def _run_or_fail(self, items) -> None:
+        """Run one batch; if the *unguarded* part of ``_run_pending`` raises
+        (an engine bug — the forward itself is guarded), resolve the batch's
+        handles with the error before letting the loop die: once flushed out
+        of the batcher these items are in neither the batcher nor the queue,
+        so the ``_serve_loop`` cleanup would never see them."""
+        try:
+            self._run_pending(items)
+        except BaseException as err:
+            for _graph, pending, _deadline in items:
+                pending._resolve(None, err)
+            raise
+
+    def _serve_loop_inner(self, batcher: MicroBatcher) -> None:
         while True:
-            if len(batcher):
-                timeout = max(0.0, batcher.deadline - time.monotonic())
-            else:
-                timeout = None
+            now = self.clock()
+            wake = batcher.next_wake(now)
+            timeout = None if wake is None else max(0.0, wake - now)
             try:
                 item = self._queue.get(timeout=timeout)
             except queue.Empty:
-                self._run_pending(batcher.flush())
+                now = self.clock()
+                for _graph, pending, _deadline in batcher.expire(now):
+                    pending._resolve(None, DeadlineExceeded("request expired before it was served"))
+                if batcher.deadline is not None and now >= batcher.deadline:
+                    self._run_or_fail(batcher.flush())
                 continue
             if item is _STOP:
-                self._run_pending(batcher.flush())
+                self._run_or_fail(batcher.flush())
                 return
-            graph, _pending = item
-            for ready in batcher.add(item, graph.num_nodes, time.monotonic()):
-                self._run_pending(ready)
+            graph, _pending, deadline = item
+            for ready in batcher.add(item, graph.num_nodes, self.clock(), deadline=deadline):
+                self._run_or_fail(ready)

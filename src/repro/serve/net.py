@@ -1,0 +1,336 @@
+"""Stdlib HTTP front-end: real traffic onto the serving stack.
+
+``python -m repro.serve model.npz --http`` starts a
+:class:`ServingServer` — a :class:`ThreadingMixIn` ``http.server`` whose
+handler threads submit into a *backend* and block until the answer is
+ready.  Two backends implement the same three-method surface
+(``submit(graph, deadline) -> PendingResult`` / ``stop()`` / ``clock``):
+
+* :class:`EngineBackend` — the in-process
+  :class:`~repro.serve.engine.InferenceEngine` queue front-end
+  (``--workers 0``): handler threads coalesce through the engine's
+  micro-batcher, one GIL.
+* :class:`~repro.serve.pool.WorkerPool` (``--workers K``): K processes
+  over one shared-memory weight bank.
+
+Wire format is :mod:`repro.serve.wire` — the same JSON graphs the stdin
+CLI accepts::
+
+    POST /predict   {"x": [[...], ...], "edge_index": [[s], [t]]}
+                    or {"graphs": [...], "deadline_ms": 50}
+    GET  /stats     live counters, p50/p99 latency, rolling OOD rate
+    GET  /healthz   {"status": "ok"} (503 once draining)
+
+Production semantics, mapped onto HTTP status codes (the exception
+vocabulary of :mod:`repro.serve.futures`):
+
+====  =======================  =========================================
+400   ``ValueError``           malformed / schema-invalid request graph
+429   ``QueueFull``            admission control shed the request
+503   ``EngineStopped``        backend stopped / draining
+504   ``DeadlineExceeded``     deadline passed before a worker served it
+500   anything else            engine-side failure
+====  =======================  =========================================
+
+Shutdown is a **drain**: SIGTERM (or :meth:`ServingServer.drain`) flips
+``/healthz`` to 503 so load balancers stop routing here, rejects new
+predicts with 503, lets in-flight requests finish, then stops the
+backend (which flushes its queues) and closes the socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from socketserver import ThreadingMixIn
+
+from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult, QueueFull
+from repro.serve.stats import ServingStats
+from repro.serve.wire import graph_from_json, result_to_json
+
+__all__ = ["EngineBackend", "ServingServer", "serve_http"]
+
+#: Ceiling on how long a handler thread waits for a backend answer when
+#: the request carries no deadline (seconds).  Keeps a wedged backend
+#: from accumulating handler threads forever.
+DEFAULT_RESULT_TIMEOUT = 60.0
+
+
+class EngineBackend:
+    """The in-process engine behind the pool's ``submit`` surface.
+
+    Adds the admission control the raw engine queue lacks: at most
+    ``queue_depth`` requests in flight (submitted, not yet resolved) —
+    beyond that :meth:`submit` sheds with
+    :class:`~repro.serve.futures.QueueFull`, exactly like the pool's
+    bounded request queue.
+    """
+
+    def __init__(self, engine, queue_depth: int = 256):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.engine = engine
+        self.queue_depth = int(queue_depth)
+        self.clock = engine.clock
+        self._inflight = 0
+        self._lock = threading.Lock()
+        if engine._worker is None:
+            engine.start()
+
+    def submit(self, graph, deadline: float | None = None) -> PendingResult:
+        with self._lock:
+            if self._inflight >= self.queue_depth:
+                raise QueueFull(
+                    f"inflight queue at capacity ({self.queue_depth}); request shed"
+                )
+            self._inflight += 1
+        try:
+            handle = self.engine.submit(graph, deadline=deadline)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+            raise
+        handle.add_done_callback(self._release)
+        return handle
+
+    def _release(self, _handle) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def stop(self) -> None:
+        self.engine.stop()
+
+
+def _error_status(err: BaseException) -> int:
+    """The status-code half of the module-docstring table."""
+    if isinstance(err, QueueFull):
+        return 429
+    if isinstance(err, EngineStopped):
+        return 503
+    if isinstance(err, (DeadlineExceeded, TimeoutError)):
+        return 504
+    if isinstance(err, ValueError):
+        return 400
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP request; the server object carries all shared state."""
+
+    protocol_version = "HTTP/1.1"
+    # Status line/headers and the JSON body go out as separate writes;
+    # with Nagle on, the body then waits on the client's delayed ACK
+    # (~40 ms per request on Linux loopback) — disastrous for a
+    # keep-alive request/response protocol.
+    disable_nagle_algorithm = True
+    server: "ServingServer"
+
+    # ------------------------------------------------------------------
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # per-request stderr lines would swamp load tests
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        if self.path == "/stats":
+            self._respond(200, self.server.stats.snapshot())
+        elif self.path == "/healthz":
+            if self.server.draining:
+                self._respond(503, {"status": "draining"})
+            else:
+                self._respond(200, {"status": "ok"})
+        else:
+            self._respond(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/predict":
+            self._respond(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        server = self.server
+        stats = server.stats
+        if server.draining:
+            self._respond(503, {"error": "server is draining"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length))
+        except (ValueError, TypeError):
+            stats.record_bad_request()
+            self._respond(400, {"error": "request body is not valid JSON"})
+            return
+        try:
+            payloads, single = self._request_graphs(request)
+            deadline_ms = request.get("deadline_ms") if isinstance(request, dict) else None
+            results, status = self._serve(payloads, deadline_ms)
+        except ValueError as err:
+            stats.record_bad_request()
+            self._respond(400, {"error": str(err)})
+            return
+        if single:
+            self._respond(status, results[0])
+        else:
+            self._respond(status, {"results": results})
+
+    @staticmethod
+    def _request_graphs(request) -> tuple[list, bool]:
+        """Accept one graph object or ``{"graphs": [...]}``; ValueError otherwise."""
+        if isinstance(request, dict) and "graphs" in request:
+            graphs = request["graphs"]
+            if not isinstance(graphs, list) or not graphs:
+                raise ValueError("'graphs' must be a non-empty list of request graphs")
+            return graphs, False
+        return [request], True
+
+    def _serve(self, payloads: list, deadline_ms) -> tuple[list[dict], int]:
+        """Parse, admit and await every graph; per-graph error objects.
+
+        The response status is the first error's status (200 when all
+        succeed) — single-graph requests therefore surface their error as
+        the HTTP status, batch requests keep per-position error objects.
+        """
+        server = self.server
+        stats = server.stats
+        backend = server.backend
+        clock = backend.clock
+        deadline = None
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+            if deadline_ms <= 0:
+                raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+            deadline = clock() + deadline_ms / 1e3
+        admitted = []   # (position, started, handle)
+        results: list[dict | None] = [None] * len(payloads)
+        status_out = 200
+        for pos, payload in enumerate(payloads):
+            stats.record_received()
+            try:
+                graph = graph_from_json(payload, schema=server.schema)
+                handle = backend.submit(graph, deadline=deadline)
+            except BaseException as err:
+                status = _error_status(err)
+                self._record_failure(status)
+                results[pos] = {"error": str(err), "status": status}
+                if status_out == 200:
+                    status_out = status
+                continue
+            admitted.append((pos, clock(), handle))
+        for pos, started, handle in admitted:
+            if deadline is not None:
+                # Grace covers the backend's own expiry pass reporting
+                # DeadlineExceeded; only a wedged backend hits the cap.
+                timeout = max(0.0, deadline - clock()) + 5.0
+            else:
+                timeout = server.result_timeout
+            try:
+                raw = handle.result(timeout=timeout)
+            except BaseException as err:
+                status = _error_status(err)
+                self._record_failure(status)
+                results[pos] = {"error": str(err), "status": status}
+                if status_out == 200:
+                    status_out = status
+                continue
+            payload = raw if isinstance(raw, dict) else result_to_json(raw)
+            stats.record_served(
+                clock() - started, energy=payload.get("energy"), is_ood=payload.get("ood")
+            )
+            results[pos] = payload
+        return results, status_out
+
+    def _record_failure(self, status: int) -> None:
+        stats = self.server.stats
+        if status == 400:
+            stats.record_bad_request()
+        elif status == 429:
+            stats.record_shed()
+        elif status == 504:
+            stats.record_expired()
+        else:
+            stats.record_error()
+
+
+class ServingServer(ThreadingMixIn, HTTPServer):
+    """Threaded HTTP server over a serving backend (module docstring)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        backend,
+        schema=None,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        stats: ServingStats | None = None,
+        result_timeout: float = DEFAULT_RESULT_TIMEOUT,
+    ):
+        super().__init__(address, _Handler)
+        self.backend = backend
+        # Validating against the schema in the handler (400) is clearer
+        # than letting the backend reject the submit (it raises the same
+        # ValueError, so None simply defers to the backend).
+        self.schema = schema
+        self.stats = stats if stats is not None else ServingStats(clock=backend.clock)
+        self.result_timeout = result_timeout
+        self.draining = False
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def drain(self) -> None:
+        """Graceful shutdown: unhealthy → reject new → flush → close.
+
+        Safe to call from a signal handler or any thread; idempotent.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        # shutdown() must come from outside serve_forever's thread; it
+        # returns after the accept loop exits.  In-flight handler threads
+        # finish independently; the backend flush below waits for the
+        # work they already submitted.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+        self.backend.stop()
+
+    def serve_until_stopped(self) -> None:
+        """``serve_forever`` + orderly socket close (blocking call)."""
+        try:
+            self.serve_forever(poll_interval=0.05)
+        finally:
+            self.server_close()
+
+
+def serve_http(
+    backend,
+    schema=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    stats: ServingStats | None = None,
+    result_timeout: float = DEFAULT_RESULT_TIMEOUT,
+) -> ServingServer:
+    """Build a :class:`ServingServer` and start its accept loop in a thread.
+
+    Returns the server (bound, serving); ``server.drain()`` shuts it
+    down.  ``port=0`` binds an ephemeral port (tests, bench harnesses) —
+    read it back from ``server.port``.
+    """
+    server = ServingServer(
+        backend, schema=schema, address=(host, port), stats=stats, result_timeout=result_timeout
+    )
+    thread = threading.Thread(target=server.serve_until_stopped, daemon=True)
+    thread.start()
+    server._serve_thread = thread
+    return server

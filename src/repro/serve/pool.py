@@ -1,0 +1,500 @@
+"""Multi-process serving workers over one shared-memory weight bank.
+
+The in-process :class:`~repro.serve.engine.InferenceEngine` is bounded by
+one interpreter: HTTP parsing, JSON, request packing and the Python halves
+of the forward all contend for a single GIL.  :class:`WorkerPool` runs K
+worker *processes*, each owning a full engine, behind one bounded request
+queue — and shares the model weights instead of duplicating them:
+
+* :class:`SharedWeights` packs an artifact's stacked per-seed parameters
+  and buffers into **one** :class:`multiprocessing.shared_memory`
+  segment.  Workers attach and rebuild their models over read-only numpy
+  views into that segment (``ModelArtifact.build_models(copy=False)`` →
+  ``load_state_dict(copy=False)``), so worker RSS grows by page-table
+  entries, not by a weight copy per process.  (The npz route —
+  ``np.load(..., mmap_mode="r")`` — cannot do this: npz members live
+  inside a zip archive and are decompressed on access, so ``mmap_mode``
+  is silently ignored; a flat shared-memory bank is the layout that
+  actually maps.)
+* Production semantics are first-class: the request queue is **bounded**
+  (admission control — a full queue raises
+  :class:`~repro.serve.futures.QueueFull`, HTTP 429), requests carry
+  absolute monotonic **deadlines** (expired ones are dropped with
+  :class:`~repro.serve.futures.DeadlineExceeded`, HTTP 504 — Linux's
+  ``CLOCK_MONOTONIC`` is system-wide, so parent and worker clocks agree),
+  ``stop()`` **drains**: it stops admission, lets workers flush what was
+  queued, joins them, and fails anything left with
+  :class:`~repro.serve.futures.EngineStopped`.  A worker that dies
+  unexpectedly fails every outstanding handle instead of stranding it.
+
+Request/response payloads cross process boundaries as the JSON-ready
+dicts of :mod:`repro.serve.wire`, so the HTTP layer can hand them straight
+to the client without re-encoding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+
+import numpy as np
+
+from repro.serve.artifact import FeatureSchema, ModelArtifact, ModelSpec
+from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult, QueueFull
+from repro.serve.ood import EnergyCalibration
+
+__all__ = ["SharedWeights", "WorkerPool", "process_memory"]
+
+_ALIGN = 64  # align every array in the bank (cache-line / SIMD friendly)
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedWeights:
+    """One artifact's weights in one shared-memory segment.
+
+    The parent calls :meth:`publish` once; each worker calls
+    :meth:`attach` with the (picklable) ``manifest`` and gets back an
+    equivalent object whose :meth:`build_artifact` reconstructs a
+    :class:`~repro.serve.artifact.ModelArtifact` over read-only views.
+    The parent owns the segment: workers ``close()`` their mapping, the
+    parent ``close(unlink=True)`` destroys it at shutdown.
+    """
+
+    def __init__(self, shm, manifest: dict, owner: bool):
+        self._shm = shm
+        self.manifest = manifest
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, artifact: ModelArtifact, dtype=None) -> "SharedWeights":
+        """Pack ``artifact`` (cast to the serving ``dtype``) into shared memory."""
+        from multiprocessing import shared_memory
+
+        if dtype is not None:
+            artifact = artifact.astype(dtype)
+        entries = []
+        offset = 0
+        stacked: list[tuple[str, str, np.ndarray]] = []
+        for kind, dicts in (("state", artifact.states), ("buffer", artifact.buffers)):
+            for name in dicts[0]:
+                arr = np.stack([np.asarray(d[name]) for d in dicts])
+                offset = _aligned(offset)
+                entries.append(
+                    {"kind": kind, "name": name, "offset": offset,
+                     "shape": list(arr.shape), "dtype": arr.dtype.str}
+                )
+                stacked.append((kind, name, arr))
+                offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for entry, (_kind, _name, arr) in zip(entries, stacked):
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=entry["offset"])
+            view[...] = arr
+        manifest = {
+            "shm_name": shm.name,
+            "nbytes": int(offset),
+            "entries": entries,
+            "spec": artifact.spec.to_dict(),
+            "schema": artifact.schema.to_dict(),
+            "seeds": list(artifact.seeds),
+            "dtype": artifact.dtype.name,
+        }
+        return cls(shm, manifest, owner=True)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, manifest: dict) -> "SharedWeights":
+        """Map the published segment in this process (no copy)."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        # CPython < 3.13 registers attached (not just created) segments
+        # with the resource tracker, which would unlink the parent-owned
+        # segment when the first worker exits — and with forked workers
+        # the tracker process is shared, so even an attach-side
+        # ``unregister`` would clobber the parent's registration.  The
+        # parent owns cleanup; suppress registration during the attach
+        # (3.13+ spells this ``track=False``).
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *_args, **_kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=manifest["shm_name"])
+        finally:
+            resource_tracker.register = original_register
+        return cls(shm, manifest, owner=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed weights (the single copy all workers share)."""
+        return self.manifest["nbytes"]
+
+    @property
+    def dtype_name(self) -> str:
+        return self.manifest["dtype"]
+
+    def arrays(self) -> dict[str, dict[str, np.ndarray]]:
+        """Read-only seed-stacked views ``{"state": {...}, "buffer": {...}}``."""
+        out: dict[str, dict[str, np.ndarray]] = {"state": {}, "buffer": {}}
+        for entry in self.manifest["entries"]:
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=self._shm.buf,
+                offset=entry["offset"],
+            )
+            view.flags.writeable = False
+            out[entry["kind"]][entry["name"]] = view
+        return out
+
+    def build_artifact(self) -> ModelArtifact:
+        """A :class:`ModelArtifact` whose arrays are views into the segment."""
+        views = self.arrays()
+        seeds = self.manifest["seeds"]
+        states = [{n: arr[k] for n, arr in views["state"].items()} for k in range(len(seeds))]
+        buffers = [{n: arr[k] for n, arr in views["buffer"].items()} for k in range(len(seeds))]
+        return ModelArtifact(
+            ModelSpec.from_dict(self.manifest["spec"]),
+            FeatureSchema.from_dict(self.manifest["schema"]),
+            states,
+            buffers,
+            seeds,
+        )
+
+    def build_engine(self, **engine_kwargs):
+        """An :class:`InferenceEngine` over zero-copy models from the segment."""
+        from repro.serve.engine import InferenceEngine
+
+        artifact = self.build_artifact()
+        models = artifact.build_models(copy=False)
+        return InferenceEngine.from_models(
+            models, artifact.schema, dtype=self.dtype_name, **engine_kwargs
+        )
+
+    def close(self, unlink: bool = False) -> None:
+        """Unmap the segment; ``unlink=True`` (owner) destroys it."""
+        try:
+            self._shm.close()
+        finally:
+            if unlink and self._owner:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _serve_items(engine, items, response_q, clock) -> None:
+    """Serve one coalesced batch; answer every item exactly once."""
+    from repro.serve.wire import result_to_json
+
+    now = clock()
+    live = []
+    for req_id, graph, deadline in items:
+        if deadline is not None and now >= deadline:
+            response_q.put((req_id, "expired", None))
+        else:
+            live.append((req_id, graph))
+    if not live:
+        return
+    try:
+        results = engine.predict([graph for _req_id, graph in live])
+    except Exception as err:
+        # One poisoned batch answers its own requests with the error and
+        # leaves the worker alive for everything queued behind it.
+        for req_id, _graph in live:
+            response_q.put((req_id, "error", f"{type(err).__name__}: {err}"))
+        return
+    for (req_id, _graph), result in zip(live, results):
+        response_q.put((req_id, "ok", result_to_json(result)))
+
+
+def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q) -> None:
+    """Worker entry point: attach shared weights, serve until sentinel."""
+    calibration = engine_kwargs.pop("calibration", None)
+    shared = SharedWeights.attach(manifest)
+    try:
+        engine = shared.build_engine(**engine_kwargs)
+        if calibration is not None:
+            engine.calibration = EnergyCalibration.from_dict(calibration)
+        max_graphs = engine.budget.max_graphs
+        flush_timeout = engine.flush_timeout
+        stopping = False
+        while not stopping:
+            item = request_q.get()
+            if item is None:
+                break
+            items = [item]
+            started = time.monotonic()
+            # Coalesce a micro-batch: keep pulling until the budget fills
+            # or the flush window (from the first request) elapses.
+            while len(items) < max_graphs:
+                remaining = flush_timeout - (time.monotonic() - started)
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = request_q.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    # A sentinel mid-coalesce: flush what we have, then
+                    # exit.  Admission stops before sentinels are queued,
+                    # so no real request can follow one — and with K
+                    # sentinels for K workers, consuming exactly one each
+                    # (we break here, never pull a second) leaves one for
+                    # every sibling.
+                    stopping = True
+                    break
+                items.append(nxt)
+            _serve_items(engine, items, response_q, time.monotonic)
+    finally:
+        shared.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+
+class WorkerPool:
+    """K serving processes over one shared weight bank (module docstring).
+
+    Parameters mirror :class:`~repro.serve.engine.InferenceEngine` where
+    they configure the per-worker engines (``max_graphs`` / ``max_nodes``
+    / ``flush_timeout`` / ``dtype`` / ``temperature`` / ``calibration``).
+
+    ``queue_depth`` bounds the inflight request queue — the admission
+    control knob: when full, :meth:`submit` raises
+    :class:`~repro.serve.futures.QueueFull` immediately instead of
+    building an unbounded backlog of requests that will all miss their
+    deadlines (default: ``4 * num_workers * max_graphs``).
+
+    ``start_method`` picks the :mod:`multiprocessing` context
+    (default ``"fork"`` where available — instant worker start; pass
+    ``"spawn"`` for fork-hostile embedders).
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        *,
+        num_workers: int = 2,
+        dtype=None,
+        max_graphs: int = 64,
+        max_nodes: int | None | str = "auto",
+        flush_timeout: float = 0.01,
+        queue_depth: int | None = None,
+        temperature: float = 1.0,
+        calibration: EnergyCalibration | None = None,
+        start_method: str | None = None,
+        clock=time.monotonic,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.schema = artifact.schema
+        self.num_workers = int(num_workers)
+        self.clock = clock
+        self._shared = SharedWeights.publish(artifact, dtype=dtype)
+        self._engine_kwargs = {
+            "max_graphs": max_graphs,
+            "max_nodes": max_nodes,
+            "flush_timeout": flush_timeout,
+            "temperature": temperature,
+            "calibration": None if calibration is None else calibration.to_dict(),
+        }
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self.queue_depth = int(queue_depth) if queue_depth is not None else 4 * self.num_workers * max_graphs
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self._request_q = self._ctx.Queue(maxsize=self.queue_depth)
+        self._response_q = self._ctx.Queue()
+        self._processes: list = []
+        self._dispatcher: threading.Thread | None = None
+        self._handles: dict[int, PendingResult] = {}
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._started = False
+        self._closed = False
+        self._failed: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def weights_nbytes(self) -> int:
+        """Size of the single shared weight bank all workers map."""
+        return self._shared.nbytes
+
+    def worker_pids(self) -> list[int]:
+        return [p.pid for p in self._processes if p.pid is not None]
+
+    def start(self) -> "WorkerPool":
+        """Spawn the workers and the response dispatcher."""
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._started = True
+        for _ in range(self.num_workers):
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self._shared.manifest, dict(self._engine_kwargs), self._request_q, self._response_q),
+                daemon=True,
+            )
+            proc.start()
+            self._processes.append(proc)
+        self._dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def submit(self, graph, deadline: float | None = None) -> PendingResult:
+        """Enqueue one request; full queue sheds with :class:`QueueFull`.
+
+        Returns a :class:`~repro.serve.futures.PendingResult` whose
+        ``result()`` is the JSON-ready response dict
+        (:func:`repro.serve.wire.result_to_json` format).
+        """
+        self.schema.validate_graph(graph)
+        handle = PendingResult()
+        with self._lock:
+            if self._closed or not self._started:
+                raise EngineStopped("worker pool is not serving")
+            if self._failed is not None:
+                raise EngineStopped(self._failed)
+            req_id = self._next_id
+            self._next_id += 1
+            self._handles[req_id] = handle
+        try:
+            self._request_q.put_nowait((req_id, graph, deadline))
+        except queue.Full:
+            with self._lock:
+                self._handles.pop(req_id, None)
+            raise QueueFull(
+                f"inflight queue at capacity ({self.queue_depth}); request shed"
+            ) from None
+        return handle
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                msg = self._response_q.get(timeout=0.2)
+            except queue.Empty:
+                if self._watch_workers():
+                    return
+                continue
+            if msg is None:
+                return
+            req_id, status, payload = msg
+            with self._lock:
+                handle = self._handles.pop(req_id, None)
+            if handle is None:
+                continue
+            if status == "ok":
+                handle._resolve(payload)
+            elif status == "expired":
+                handle._resolve(None, DeadlineExceeded("request expired before a worker served it"))
+            else:
+                handle._resolve(None, RuntimeError(f"worker error: {payload}"))
+
+    def _watch_workers(self) -> bool:
+        """Fail outstanding handles if a worker died; True when pool is down.
+
+        A worker that crashes mid-batch can never answer the requests it
+        held, and with one shared request queue there is no per-worker
+        accounting — so the pool fails *every* outstanding handle rather
+        than stranding an unknown subset forever, and refuses new work.
+
+        Deliberately ignores ``self._closed``: during a drain the
+        dispatcher must keep pumping until the ``stop()`` sentinel so the
+        responses workers flushed on their way out still resolve their
+        handles (exit code 0 is a clean worker exit, not a death).
+        """
+        dead = [p for p in self._processes if p.pid is not None and not p.is_alive() and p.exitcode != 0]
+        if not dead:
+            return False
+        message = (
+            f"worker process (pid {dead[0].pid}) died with exit code {dead[0].exitcode}"
+        )
+        with self._lock:
+            self._failed = message
+            stranded = list(self._handles.values())
+            self._handles.clear()
+        error = EngineStopped(message)
+        for handle in stranded:
+            handle._resolve(None, error)
+        return True
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        """Drain and shut down: stop admission, flush, join, fail leftovers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._started:
+            for _ in self._processes:
+                try:
+                    self._request_q.put(None, timeout=join_timeout)
+                except queue.Full:
+                    break
+            for proc in self._processes:
+                proc.join(timeout=join_timeout)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            # Workers flushed their responses before exiting; FIFO order
+            # guarantees the dispatcher sees them all before the sentinel.
+            self._response_q.put(None)
+            if self._dispatcher is not None:
+                self._dispatcher.join(timeout=join_timeout)
+        with self._lock:
+            stranded = list(self._handles.values())
+            self._handles.clear()
+        error = EngineStopped("pool stopped before the request was served")
+        for handle in stranded:
+            handle._resolve(None, error)
+        self._request_q.close()
+        self._request_q.cancel_join_thread()
+        self._response_q.close()
+        self._response_q.cancel_join_thread()
+        self._shared.close(unlink=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def process_memory(pid: int | None = None) -> dict[str, float]:
+    """Memory breakdown of a process in MiB, from ``/proc/<pid>/smaps_rollup``.
+
+    Keys: ``rss`` (mapped), ``pss`` (rss with shared pages divided among
+    sharers), ``shared`` and ``private`` (clean+dirty).  The serving
+    bench uses ``private`` to show worker weights are *shared*, not
+    per-process copies: K workers over one bank keep per-worker private
+    memory roughly constant while ``shared`` carries the weights.
+    Returns ``{}`` on platforms without smaps_rollup.
+    """
+    path = f"/proc/{pid or os.getpid()}/smaps_rollup"
+    fields = {"Rss": "rss", "Pss": "pss", "Shared_Clean": "shared", "Shared_Dirty": "shared",
+              "Private_Clean": "private", "Private_Dirty": "private"}
+    out: dict[str, float] = {}
+    try:
+        with open(path) as fh:
+            for line in fh:
+                key = line.split(":", 1)[0]
+                name = fields.get(key)
+                if name is not None:
+                    kib = float(line.split()[1])
+                    out[name] = out.get(name, 0.0) + kib / 1024.0
+    except OSError:
+        return {}
+    return out

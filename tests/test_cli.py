@@ -147,6 +147,101 @@ class TestServe:
         assert "error" in lines[1]          # missing "x"
         assert lines[2]["prediction"] in (0, 1)  # later requests still served
 
+    def test_stdin_interleaved_good_and_bad_lines_keep_stream_order(
+        self, artifact_path, requests_path, capsys, monkeypatch
+    ):
+        """good/bad/good/bad: every line answers in its own position and the
+        bad ones carry error objects naming what was wrong."""
+        import io
+
+        from repro.serve.__main__ import main as serve_main
+
+        good = json.dumps(json.loads(requests_path.read_text())[0])
+        bad_ragged = json.dumps({"x": [[1.0, 2.0], [3.0]]})
+        bad_edges = json.dumps({"x": [[0.0] * 4] * 2, "edge_index": [[0], [9]]})
+        stream = io.StringIO("\n".join([good, bad_ragged, good, bad_edges]) + "\n")
+        monkeypatch.setattr("sys.stdin", stream)
+        code = serve_main([str(artifact_path), "--stdin", "--flush-timeout", "0.01"])
+        assert code == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 4
+        assert lines[0]["prediction"] in (0, 1)
+        assert "rectangular" in lines[1]["error"]
+        assert lines[2]["prediction"] in (0, 1)
+        assert "error" in lines[3]
+        assert lines[0]["output"] == lines[2]["output"]  # same request, same answer
+
+    def test_http_mode_serves_and_drains_on_sigterm(self, artifact_path, requests_path):
+        """--http end to end as a user would run it: spin the CLI in a
+        thread, query over TCP, SIGTERM-equivalent drain, clean exit."""
+        import threading
+        import time
+        import urllib.request
+
+        from repro.serve import __main__ as serve_cli
+
+        captured = {}
+        original_serve_http = serve_cli._serve_http
+        codes = []
+        thread = None
+        stop = threading.Event()
+        try:
+            # Inject the drain trigger (what the SIGTERM handler sets) and
+            # capture the bound server so the test can learn the port.
+            def hooked(args, artifact, engine, max_nodes):
+                from repro.serve import net
+
+                original_bind = net.serve_http
+
+                def capture(*a, **kw):
+                    captured["server"] = original_bind(*a, **kw)
+                    return captured["server"]
+
+                net.serve_http = capture
+                try:
+                    return original_serve_http(args, artifact, engine, max_nodes, stop=stop)
+                finally:
+                    net.serve_http = original_bind
+
+            serve_cli._serve_http = hooked
+
+            def run():
+                codes.append(serve_cli.main([
+                    str(artifact_path), "--http", "--port", "0", "--flush-timeout", "0.005",
+                ]))
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 30.0
+            while "server" not in captured and time.monotonic() < deadline:
+                time.sleep(0.01)
+            server = captured["server"]
+            request = json.loads(requests_path.read_text())[0]
+            req = urllib.request.Request(
+                server.url + "/predict", data=json.dumps(request).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            body = json.loads(urllib.request.urlopen(req, timeout=30.0).read())
+            assert body["prediction"] in (0, 1)
+            health = json.loads(urllib.request.urlopen(server.url + "/healthz", timeout=30.0).read())
+            assert health == {"status": "ok"}
+            stop.set()  # what the SIGTERM handler does
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert codes == [0]
+            assert server.draining
+        finally:
+            serve_cli._serve_http = original_serve_http
+            stop.set()
+            if thread is not None:
+                thread.join(timeout=10.0)
+
+    def test_http_mode_is_exclusive_with_stdin(self, artifact_path):
+        from repro.serve.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([str(artifact_path), "--stdin", "--http"])
+
     def test_requires_a_mode(self, artifact_path):
         from repro.serve.__main__ import main as serve_main
 

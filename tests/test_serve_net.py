@@ -1,0 +1,381 @@
+"""HTTP front-end and wire format: status mapping, stats, drain, validation.
+
+Two layers of coverage for :mod:`repro.serve.net` / :mod:`repro.serve.wire`:
+
+* Deterministic protocol tests against a :class:`StubBackend` that
+  resolves handles however the test dictates — every row of the
+  exception→status table (400/429/503/504/500) is pinned without any
+  timing dependence.
+* An end-to-end server over a real :class:`EngineBackend`
+  (in-process engine, ephemeral port): predict parity with the engine,
+  batch requests, ``/stats`` counters and rolling OOD telemetry,
+  ``/healthz`` flipping on drain.
+
+Plus boundary validation of :func:`repro.serve.wire.graph_from_json` —
+the malformed payloads that used to surface as cryptic numpy errors (or
+silently truncate float edge indices toward valid-looking wrong edges).
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.serve import (
+    DeadlineExceeded,
+    EngineStopped,
+    FeatureSchema,
+    InferenceEngine,
+    PendingResult,
+    QueueFull,
+    ServingStats,
+    graph_from_json,
+)
+from repro.serve.net import EngineBackend, serve_http
+from repro.encoders import build_model
+
+FEATURE_DIM, OUT_DIM = 4, 3
+SCHEMA = FeatureSchema(feature_dim=FEATURE_DIM, out_dim=OUT_DIM, task_type="multiclass", num_classes=OUT_DIM)
+
+
+def make_graph_payload(rng, nodes=8):
+    g = erdos_renyi(nodes, 0.5, rng)
+    x = rng.normal(size=(nodes, FEATURE_DIM))
+    return {"x": x.tolist(), "edge_index": g.edge_index.tolist()}
+
+
+def http(url, payload=None, timeout=30.0):
+    """(status, json_body) for GET (payload None) or POST."""
+    try:
+        if payload is None:
+            response = urllib.request.urlopen(url, timeout=timeout)
+        else:
+            request = urllib.request.Request(
+                url, data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = urllib.request.urlopen(request, timeout=timeout)
+        return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestWireValidation:
+    """graph_from_json: clear ValueErrors at the boundary, never numpy noise."""
+
+    def test_valid_payload_round_trips(self, rng):
+        payload = make_graph_payload(rng)
+        graph = graph_from_json(payload, schema=SCHEMA)
+        assert graph.num_nodes == 8
+        np.testing.assert_array_equal(graph.x, np.asarray(payload["x"]))
+
+    def test_non_object_payload(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            graph_from_json([1, 2, 3])
+
+    def test_missing_x(self):
+        with pytest.raises(ValueError, match="'x'"):
+            graph_from_json({"edge_index": [[], []]})
+
+    def test_ragged_feature_rows(self):
+        """Used to explode as a numpy 'inhomogeneous shape' error."""
+        with pytest.raises(ValueError, match="rectangular"):
+            graph_from_json({"x": [[1.0, 2.0], [3.0]]})
+
+    def test_non_numeric_features(self):
+        with pytest.raises(ValueError, match="numbers"):
+            graph_from_json({"x": [["a", "b"]]})
+
+    def test_three_dimensional_x(self):
+        with pytest.raises(ValueError, match="2-D"):
+            graph_from_json({"x": [[[1.0]]]})
+
+    def test_one_dimensional_x_promotes_to_column(self):
+        graph = graph_from_json({"x": [1.0, 2.0, 3.0]})
+        assert graph.x.shape == (3, 1)
+
+    def test_wrong_edge_index_shape(self):
+        with pytest.raises(ValueError, match=r"\(2, num_edges\)"):
+            graph_from_json({"x": [[1.0]], "edge_index": [[0, 0, 0]]})
+
+    def test_fractional_edge_index_rejected_not_truncated(self):
+        """1.7 would int64-cast to node 1 — a valid-looking wrong edge."""
+        with pytest.raises(ValueError, match="integers"):
+            graph_from_json({"x": [[1.0], [2.0]], "edge_index": [[0.0], [1.7]]})
+
+    def test_integral_float_edge_index_accepted(self):
+        """JSON writers often emit 1.0 for 1; exact integers are fine."""
+        graph = graph_from_json({"x": [[1.0], [2.0]], "edge_index": [[0.0], [1.0]]})
+        assert graph.edge_index.dtype == np.int64
+
+    def test_out_of_range_edge_index(self):
+        with pytest.raises(ValueError, match="out of range|num_nodes|< num_nodes"):
+            graph_from_json({"x": [[1.0], [2.0]], "edge_index": [[0], [5]]})
+
+    def test_negative_edge_index(self):
+        with pytest.raises(ValueError):
+            graph_from_json({"x": [[1.0], [2.0]], "edge_index": [[0], [-1]]})
+
+    def test_schema_rejects_wrong_feature_width(self, rng):
+        payload = {"x": [[1.0, 2.0]]}  # schema expects FEATURE_DIM columns
+        with pytest.raises(ValueError, match="node features"):
+            graph_from_json(payload, schema=SCHEMA)
+
+
+class StubBackend:
+    """Scriptable backend: each submit pops the next programmed outcome."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.clock = time.monotonic
+        self.stopped = False
+        self.submitted = []
+
+    def submit(self, graph, deadline=None):
+        self.submitted.append((graph, deadline))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        handle = PendingResult()
+        if isinstance(outcome, dict):
+            handle._resolve(outcome)
+        else:
+            handle._resolve(None, outcome())
+        return handle
+
+    def stop(self):
+        self.stopped = True
+
+
+OK = {"prediction": 1, "output": [0.0], "probs": [1.0], "energy": -2.0, "ood": False}
+
+
+@pytest.fixture
+def stub_server(request):
+    servers = []
+
+    def start(outcomes, schema=SCHEMA):
+        backend = StubBackend(outcomes)
+        server = serve_http(backend, schema=schema)
+        servers.append(server)
+        return backend, server
+
+    yield start
+    for server in servers:
+        server.draining = True  # skip backend.stop noise
+        server.shutdown()
+        server.server_close()
+
+
+class TestStatusMapping:
+    """Every row of the exception→HTTP table, deterministically."""
+
+    def test_ok(self, stub_server, rng):
+        _backend, server = stub_server([OK])
+        status, body = http(server.url + "/predict", make_graph_payload(rng))
+        assert status == 200
+        assert body["prediction"] == 1 and body["ood"] is False
+
+    def test_queue_full_is_429(self, stub_server, rng):
+        _backend, server = stub_server([QueueFull("inflight queue at capacity")])
+        status, body = http(server.url + "/predict", make_graph_payload(rng))
+        assert status == 429 and "capacity" in body["error"]
+
+    def test_deadline_exceeded_is_504(self, stub_server, rng):
+        _backend, server = stub_server([lambda: DeadlineExceeded("request expired")])
+        status, body = http(server.url + "/predict", make_graph_payload(rng))
+        assert status == 504 and "expired" in body["error"]
+
+    def test_engine_stopped_is_503(self, stub_server, rng):
+        _backend, server = stub_server([EngineStopped("draining")])
+        status, _body = http(server.url + "/predict", make_graph_payload(rng))
+        assert status == 503
+
+    def test_engine_bug_is_500(self, stub_server, rng):
+        _backend, server = stub_server([lambda: RuntimeError("worker error: boom")])
+        status, body = http(server.url + "/predict", make_graph_payload(rng))
+        assert status == 500 and "boom" in body["error"]
+
+    def test_invalid_graph_is_400_and_never_reaches_backend(self, stub_server):
+        backend, server = stub_server([OK])
+        status, body = http(server.url + "/predict", {"x": [[1.0, 2.0], [3.0]]})
+        assert status == 400 and "rectangular" in body["error"]
+        assert backend.submitted == []
+
+    def test_non_json_body_is_400(self, stub_server):
+        _backend, server = stub_server([OK])
+        request = urllib.request.Request(
+            server.url + "/predict", data=b"not json{", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert excinfo.value.code == 400
+
+    def test_unknown_endpoint_is_404(self, stub_server):
+        _backend, server = stub_server([])
+        assert http(server.url + "/nope")[0] == 404
+        assert http(server.url + "/nope", {"x": [[0.0]]})[0] == 404
+
+    def test_batch_mixes_per_position_errors(self, stub_server, rng):
+        """Batch requests keep per-position error objects; HTTP status is
+        the first failure's."""
+        backend, server = stub_server([OK, QueueFull("shed")])
+        good = make_graph_payload(rng)
+        status, body = http(server.url + "/predict", {"graphs": [good, good, {"x": [[1], [2, 3]]}]})
+        assert status == 429  # first error position wins the status
+        results = body["results"]
+        assert results[0]["prediction"] == 1
+        assert results[1]["status"] == 429
+        assert results[2]["status"] == 400
+        assert len(backend.submitted) == 2  # the malformed one never submitted
+
+    def test_empty_batch_is_400(self, stub_server):
+        _backend, server = stub_server([])
+        status, _ = http(server.url + "/predict", {"graphs": []})
+        assert status == 400
+
+    def test_bad_deadline_ms_is_400(self, stub_server, rng):
+        _backend, server = stub_server([OK])
+        status, body = http(
+            server.url + "/predict", {"graphs": [make_graph_payload(rng)], "deadline_ms": -5}
+        )
+        assert status == 400 and "deadline_ms" in body["error"]
+
+    def test_deadline_ms_propagates_as_absolute_monotonic_instant(self, stub_server, rng):
+        backend, server = stub_server([OK])
+        before = time.monotonic()
+        status, _ = http(server.url + "/predict", {"graphs": [make_graph_payload(rng)], "deadline_ms": 250})
+        assert status == 200
+        (_graph, deadline), = backend.submitted
+        assert before + 0.1 < deadline < time.monotonic() + 0.3
+
+
+class TestStatsEndpoint:
+    def test_counters_and_windows(self, stub_server, rng):
+        _backend, server = stub_server(
+            [OK, {**OK, "ood": True}, QueueFull("shed"), lambda: DeadlineExceeded("late")]
+        )
+        good = make_graph_payload(rng)
+        for _ in range(4):
+            http(server.url + "/predict", good)
+        http(server.url + "/predict", {"x": "nope"})
+        status, stats = http(server.url + "/stats")
+        assert status == 200
+        counts = stats["counts"]
+        assert counts["served"] == 2
+        assert counts["shed"] == 1
+        assert counts["expired"] == 1
+        assert counts["bad_requests"] == 1
+        assert counts["received"] == 5
+        ood = stats["ood"]
+        assert ood["window_scored"] == 2 and ood["flagged_total"] == 1
+        assert ood["rolling_rate"] == pytest.approx(0.5)
+        assert stats["latency_ms"]["p50"] >= 0.0
+        assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"]
+
+    def test_rolling_ood_rate_tracks_drift(self):
+        """The rolling window forgets old traffic; the lifetime rate doesn't."""
+        stats = ServingStats(window=4, clock=lambda: 0.0)
+        for _ in range(4):
+            stats.record_served(0.001, energy=-5.0, is_ood=False)
+        assert stats.snapshot()["ood"]["rolling_rate"] == 0.0
+        for _ in range(4):  # distribution shifts: window goes fully OOD
+            stats.record_served(0.001, energy=+5.0, is_ood=True)
+        snap = stats.snapshot()["ood"]
+        assert snap["rolling_rate"] == 1.0
+        assert snap["lifetime_rate"] == pytest.approx(0.5)
+        assert snap["rolling_mean_energy"] == pytest.approx(5.0)
+
+    def test_stats_window_validated(self):
+        with pytest.raises(ValueError, match="window"):
+            ServingStats(window=0)
+
+
+class TestHealthAndDrain:
+    def test_healthz_flips_on_drain_and_predicts_rejected(self, stub_server, rng):
+        backend, server = stub_server([OK])
+        assert http(server.url + "/healthz") == (200, {"status": "ok"})
+        server.draining = True  # as server.drain() sets, without teardown
+        assert http(server.url + "/healthz")[0] == 503
+        status, _ = http(server.url + "/predict", make_graph_payload(rng))
+        assert status == 503
+        assert backend.submitted == []
+
+    def test_drain_stops_backend_and_is_idempotent(self, stub_server):
+        backend, server = stub_server([])
+        server.drain()
+        server.drain()
+        assert backend.stopped
+        assert server.draining
+
+
+class TestEndToEndEngineBackend:
+    """Real engine behind the real HTTP stack on an ephemeral port."""
+
+    @pytest.fixture
+    def served_engine(self, rng):
+        model = build_model("gin", FEATURE_DIM, OUT_DIM, np.random.default_rng(3), hidden_dim=8, num_layers=2)
+        engine = InferenceEngine.from_models([model], SCHEMA, max_graphs=8, flush_timeout=0.005)
+        backend = EngineBackend(engine, queue_depth=64)
+        server = serve_http(backend, schema=SCHEMA)
+        yield engine, server
+        server.drain()
+
+    def test_predict_matches_engine(self, served_engine, rng):
+        engine, server = served_engine
+        payload = make_graph_payload(rng)
+        status, body = http(server.url + "/predict", payload)
+        assert status == 200
+        direct = engine.predict([graph_from_json(payload)])[0]
+        np.testing.assert_allclose(body["output"], direct.output, rtol=0, atol=1e-10)
+        assert body["prediction"] == direct.label
+
+    def test_batch_request(self, served_engine, rng):
+        _engine, server = served_engine
+        graphs = [make_graph_payload(rng, nodes=5 + i) for i in range(4)]
+        status, body = http(server.url + "/predict", {"graphs": graphs, "deadline_ms": 30000})
+        assert status == 200
+        assert len(body["results"]) == 4
+        assert all(r["prediction"] in range(OUT_DIM) for r in body["results"])
+
+    def test_stats_track_served_traffic(self, served_engine, rng):
+        _engine, server = served_engine
+        for _ in range(3):
+            assert http(server.url + "/predict", make_graph_payload(rng))[0] == 200
+        _status, stats = http(server.url + "/stats")
+        assert stats["counts"]["served"] == 3
+        assert stats["ood"]["scored_total"] == 0  # uncalibrated: energy only
+        assert stats["latency_ms"]["window"] == 3
+
+    def test_drain_flips_health_and_stops_engine(self, served_engine, rng):
+        engine, server = served_engine
+        assert http(server.url + "/healthz")[0] == 200
+        server.drain()
+        assert engine._worker is None  # drain stopped the engine
+
+    def test_engine_backend_admission_control(self, rng):
+        """queue_depth inflight requests, then QueueFull — released after."""
+        model = build_model("gin", FEATURE_DIM, OUT_DIM, np.random.default_rng(3), hidden_dim=8, num_layers=2)
+        engine = InferenceEngine.from_models([model], SCHEMA, max_graphs=1000, flush_timeout=60.0)
+        backend = EngineBackend(engine, queue_depth=2)
+        graph = graph_from_json(make_graph_payload(rng))
+        try:
+            h1 = backend.submit(graph)
+            h2 = backend.submit(graph)
+            with pytest.raises(QueueFull):
+                backend.submit(graph)
+            assert not h1.done() and not h2.done()
+        finally:
+            backend.stop()  # flushes both
+        assert h1.result(timeout=1.0) is not None
+        # Resolution released the inflight slots.
+        assert backend._inflight == 0
