@@ -19,7 +19,9 @@ graphs, hidden_dim d=64, paper-style size shift on small graphs):
   >= 2x.
 * **fit** — `Trainer.fit_many` batched vs sequential on the *same* fixed
   dataset and mini-batch stream, the configuration whose bitwise parity
-  `tests/test_multiseed.py` asserts.
+  `tests/test_multiseed.py` asserts.  Measured for GIN (the original
+  stacked roster) and for GAT and SAGE, the attention/sampling encoders
+  ISSUE 7 moved into the seed-dispatch registry (acceptance >= 1.5x).
 
 Run as pytest-benchmark rows:
 
@@ -49,6 +51,8 @@ from repro.training import Trainer, TrainerConfig
 NUM_TRAIN, HIDDEN_DIM, NUM_SEEDS = 256, 64, 8
 EPOCHS, BATCH_SIZE = 2, 8
 MODES = ("sequential", "batched")
+#: Methods timed at the fit level: GIN plus the ISSUE 7 newly-stacked rosters.
+FIT_METHODS = ("gin", "gat", "sage")
 
 _INFO = DatasetInfo(
     name="bench-multiseed-size-shift",
@@ -101,20 +105,25 @@ def _run_job(batched: bool, num_train=NUM_TRAIN, num_seeds=NUM_SEEDS, epochs=EPO
     )
 
 
-def _model_factory(seed):
-    return build_model(
-        "gin", _INFO.feature_dim, _INFO.model_out_dim, np.random.default_rng((seed + 1) * 7919),
-        hidden_dim=HIDDEN_DIM, num_layers=3,
-    )
+def _model_factory(method="gin"):
+    def make(seed):
+        return build_model(
+            method, _INFO.feature_dim, _INFO.model_out_dim,
+            np.random.default_rng((seed + 1) * 7919),
+            hidden_dim=HIDDEN_DIM, num_layers=3,
+        )
+
+    return make
 
 
-def _run_fit(train_graphs, batched: bool, epochs=EPOCHS, num_seeds=NUM_SEEDS):
+def _run_fit(train_graphs, batched: bool, epochs=EPOCHS, num_seeds=NUM_SEEDS, method="gin"):
     trainer = Trainer(
         None, _INFO.task_type, TrainerConfig(epochs=epochs, batch_size=BATCH_SIZE),
         np.random.default_rng(3),
     )
     return trainer.fit_many(
-        train_graphs, seeds=tuple(range(num_seeds)), model_factory=_model_factory, batched=batched
+        train_graphs, seeds=tuple(range(num_seeds)),
+        model_factory=_model_factory(method), batched=batched,
     )
 
 
@@ -124,16 +133,22 @@ def test_job(benchmark, mode):
     benchmark(lambda: _run_job(mode == "batched"))
 
 
+@pytest.mark.parametrize("method", FIT_METHODS)
 @pytest.mark.parametrize("mode", MODES)
-def test_fit_many(benchmark, mode):
+def test_fit_many(benchmark, mode, method):
     """8-seed training only, fixed dataset (the parity configuration)."""
     train_graphs = make_dataset(0).train
-    benchmark(lambda: _run_fit(train_graphs, mode == "batched"))
+    benchmark(lambda: _run_fit(train_graphs, mode == "batched", method=method))
 
 
 def measure_speedup(repeats=3, num_train=NUM_TRAIN, num_seeds=NUM_SEEDS, epochs=EPOCHS):
-    """Wall-clock ratios sequential/batched for the job and fit levels."""
+    """Wall-clock ratios sequential/batched for the job and fit levels.
+
+    Fit-level rows are measured per method: ``fit`` is the original GIN
+    configuration; ``fit_gat``/``fit_sage`` time the ISSUE 7 rosters.
+    """
     train_graphs = make_dataset(0, num_train).train
+    fit_levels = {"gin": "fit", "gat": "fit_gat", "sage": "fit_sage"}
     timings = {}
     for mode in MODES:
         batched = mode == "batched"
@@ -142,28 +157,31 @@ def measure_speedup(repeats=3, num_train=NUM_TRAIN, num_seeds=NUM_SEEDS, epochs=
         for _ in range(repeats):
             _run_job(batched, num_train, num_seeds, epochs)
         timings[("job", mode)] = (time.perf_counter() - start) / repeats
-        start = time.perf_counter()
-        for _ in range(repeats):
-            _run_fit(train_graphs, batched, epochs, num_seeds)
-        timings[("fit", mode)] = (time.perf_counter() - start) / repeats
+        for method in FIT_METHODS:
+            start = time.perf_counter()
+            for _ in range(repeats):
+                _run_fit(train_graphs, batched, epochs, num_seeds, method)
+            timings[(fit_levels[method], mode)] = (time.perf_counter() - start) / repeats
     ratios = {
         level: timings[(level, "sequential")] / timings[(level, "batched")]
-        for level in ("job", "fit")
+        for level in ("job", *fit_levels.values())
     }
     return timings, ratios
 
 
 def test_batched_speedup_target():
-    """ISSUE 2 acceptance: >= 2x for 8 batched seeds at (n=256, d=64).
+    """ISSUE 2/7 acceptance: >= 2x GIN, >= 1.5x GAT at (K=8, n=256, d=64).
 
-    Asserted for both the end-to-end job and the training-only ratio
-    (measured headroom ~2.3-2.7x, so the 2x floor stays robust to machine
-    noise).  Not part of tier-1 — bench files are not collected by
-    default.
+    Asserted for the end-to-end GIN job and training-only ratio (measured
+    headroom ~2.3-2.7x) plus the newly-stacked GAT roster (>= 1.5x: the
+    per-segment attention softmax adds per-seed work the GEMM batching
+    cannot amortise as far as GIN's pure-GEMM stack).  Not part of tier-1
+    — bench files are not collected by default.
     """
     _, ratios = measure_speedup(repeats=2)
     assert ratios["job"] >= 2.0, f"batched multi-seed job only {ratios['job']:.2f}x faster"
     assert ratios["fit"] >= 2.0, f"batched multi-seed training only {ratios['fit']:.2f}x faster"
+    assert ratios["fit_gat"] >= 1.5, f"batched multi-seed GAT only {ratios['fit_gat']:.2f}x faster"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,34 +205,37 @@ def main(argv=None) -> int:
         num_seeds=args.seeds, epochs=args.epochs,
     )
     print(
-        f"multi-seed GIN, K={args.seeds} seeds, {args.train_graphs} train graphs, "
+        f"multi-seed, K={args.seeds} seeds, {args.train_graphs} train graphs, "
         f"hidden_dim={HIDDEN_DIM}, {args.epochs} epochs, batch {BATCH_SIZE}:"
     )
-    for level, label in (("job", "experiment job (data+train+eval)"), ("fit", "training only (fixed data)")):
+    levels = (
+        ("job", "GIN experiment job (data+train+eval)"),
+        ("fit", "GIN training only (fixed data)"),
+        ("fit_gat", "GAT training only (fixed data)"),
+        ("fit_sage", "SAGE training only (fixed data)"),
+    )
+    for level, label in levels:
         seq, bat = timings[(level, "sequential")], timings[(level, "batched")]
         print(f"  {label}:")
         print(f"    sequential: {seq:6.2f} s    batched: {bat:6.2f} s    speedup: {ratios[level]:.2f}x")
-    print(f"  acceptance: job >= 2x -> {'PASS' if ratios['job'] >= 2.0 else 'FAIL'}")
+    verdict = ratios["job"] >= 2.0 and ratios["fit_gat"] >= 1.5
+    print(f"  acceptance: job >= 2x, fit_gat >= 1.5x -> {'PASS' if verdict else 'FAIL'}")
 
+    targets = {"job": 2.0, "fit": 2.0, "fit_gat": 1.5, "fit_sage": 1.5}
     payload = {
         "benchmark": "multiseed",
         "shape": {
             "seeds": args.seeds, "train_graphs": args.train_graphs,
             "hidden_dim": HIDDEN_DIM, "epochs": args.epochs, "batch_size": BATCH_SIZE,
         },
-        "job": {
-            "sequential_s": timings[("job", "sequential")],
-            "batched_s": timings[("job", "batched")],
-            "speedup": ratios["job"],
-            "target": 2.0,
-        },
-        "fit": {
-            "sequential_s": timings[("fit", "sequential")],
-            "batched_s": timings[("fit", "batched")],
-            "speedup": ratios["fit"],
-            "target": 2.0,
-        },
     }
+    for level, _ in levels:
+        payload[level] = {
+            "sequential_s": timings[(level, "sequential")],
+            "batched_s": timings[(level, "batched")],
+            "speedup": ratios[level],
+            "target": targets[level],
+        }
     os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
     with open(args.json, "w") as fh:
         json.dump(payload, fh, indent=2)

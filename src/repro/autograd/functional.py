@@ -42,6 +42,8 @@ __all__ = [
     "seed_gather",
     "seed_segment_sum",
     "seed_segment_mean",
+    "seed_segment_max",
+    "seed_segment_softmax",
 ]
 
 
@@ -433,30 +435,42 @@ def seed_linear(x, weight, bias=None) -> Tensor:
 
 
 def seed_gather(x: Tensor, index: np.ndarray) -> Tensor:
-    """Row gather along axis 1 of seed-leading ``(K, n, f)`` activations.
+    """Row gather along axis 1 of seed-leading ``(K, n, ...)`` activations.
 
-    Returns ``(K, len(index), f)``.  Both directions run one contiguous
-    per-seed slice at a time — numpy's fancy indexing (and ``ufunc.at``)
-    over a middle axis is markedly slower than K leading-axis operations.
+    ``index`` is either a shared ``(m,)`` row index (every seed gathers the
+    same rows, e.g. a common edge list) or a per-seed ``(K, m)`` index
+    (e.g. the survivors of per-seed top-k pooling).  Returns
+    ``(K, m, ...)``.  Both directions run one contiguous per-seed slice at
+    a time — numpy's fancy indexing (and ``ufunc.at``) over a middle axis
+    is markedly slower than K leading-axis operations.
     """
     x = as_tensor(x)
     index = np.asarray(index, dtype=np.int64)
     xd = x.data
-    if len(index):
-        index = _checked_ids(index, xd.shape[1])
     num_seeds = xd.shape[0]
-    out_data = np.empty((num_seeds, len(index)) + xd.shape[2:], dtype=xd.dtype)
+    per_seed = index.ndim == 2
+    if per_seed and index.shape[0] != num_seeds:
+        raise ValueError(
+            f"expected (m,) or (K, m) index for K={num_seeds}, got shape {index.shape}"
+        )
+    if index.size:
+        index = _checked_ids(index, xd.shape[1])
+    num_gathered = index.shape[-1]
+    out_data = np.empty((num_seeds, num_gathered) + xd.shape[2:], dtype=xd.dtype)
     for k in range(num_seeds):
         # mode="clip" skips ufunc buffering — ~3x faster than the default
         # bounds-checked path; _checked_ids validated the indices above.
-        np.take(xd[k], index, axis=0, out=out_data[k], mode="clip")
+        np.take(xd[k], index[k] if per_seed else index, axis=0, out=out_data[k], mode="clip")
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
         return Tensor._wrap(out_data)
     shape = x.shape
 
     def grad_fn(g):
         full = np.zeros(shape, dtype=_value_dtype(g))
-        if _scipy_sparse is not None and len(index) and g.ndim == 3:
+        if per_seed:
+            for k in range(num_seeds):
+                scatter_add_rows(full[k], index[k], g[k])
+        elif _scipy_sparse is not None and num_gathered and g.ndim == 3:
             onehot = _scatter_matrix(index, shape[1], full.dtype)  # built once, applied K times
             g = np.ascontiguousarray(g)
             for k in range(num_seeds):
@@ -509,6 +523,58 @@ def seed_segment_mean(x: Tensor, segment_ids, num_segments: int) -> Tensor:
     counts = np.maximum(np.bincount(ids, minlength=num_segments).astype(np.float64), 1.0)
     total = seed_segment_sum(x, ids, num_segments)
     return total * Tensor((1.0 / counts)[None, :, None])
+
+
+def seed_segment_max(x: Tensor, segment_ids, num_segments: int, empty_value: float = 0.0) -> Tensor:
+    """:func:`segment_max` over axis 1 of seed-leading ``(K, n, ...)`` stacks.
+
+    Segments are shared across seeds; each seed's slice is reduced
+    independently with the same ``np.maximum.at`` kernel (and the same
+    tie-splitting gradient) as the per-seed op, so the batched result is
+    bitwise equal to K sequential :func:`segment_max` calls.
+    """
+    x = as_tensor(x)
+    ids = _as_segment_ids(segment_ids)
+    xd = x.data
+    num_seeds = xd.shape[0]
+    out_shape = (num_seeds, num_segments) + xd.shape[2:]
+    out_data = np.full(out_shape, -np.inf, dtype=_value_dtype(xd))
+    for k in range(num_seeds):
+        np.maximum.at(out_data[k], ids, xd[k])
+    empty = ~np.isfinite(out_data)
+    out_data[empty] = empty_value
+    if not (is_grad_enabled() and (x.requires_grad or x._parents)):
+        return Tensor._wrap(out_data)
+
+    def grad_fn(g):
+        grads = np.empty(xd.shape, dtype=np.float64)
+        for k in range(num_seeds):
+            winners = (xd[k] == out_data[k][ids]).astype(np.float64)
+            tie_counts = np.zeros(out_shape[1:], dtype=np.float64)
+            np.add.at(tie_counts, ids, winners)
+            tie_counts = np.maximum(tie_counts, 1.0)
+            grads[k] = winners * g[k][ids] / tie_counts[ids]
+        return grads
+
+    return Tensor._make(out_data, [(x, grad_fn)])
+
+
+def seed_segment_softmax(x: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """:func:`segment_softmax` over axis 1 of ``(K, n, ...)`` stacks.
+
+    Composed from the seed-axis primitives exactly as the per-seed op is
+    composed from its 2-D counterparts — shifted by the per-segment max,
+    exponentiated, normalised by the per-segment sum — so every
+    elementwise step runs the same arithmetic per seed slice and the
+    result is bitwise equal to K sequential :func:`segment_softmax` calls.
+    """
+    x = as_tensor(x)
+    ids = _as_segment_ids(segment_ids)
+    seg_max = seed_segment_max(x.detach(), ids, num_segments)
+    shifted = x - seed_gather(seg_max, ids)
+    exp = shifted.exp()
+    denominator = seed_segment_sum(exp, ids, num_segments)
+    return exp / (seed_gather(denominator, ids) + 1e-16)
 
 
 def segment_softmax(x: Tensor, segment_ids, num_segments: int) -> Tensor:

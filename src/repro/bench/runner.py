@@ -41,7 +41,20 @@ __all__ = [
 ]
 
 # Methods with seed-stacked variants (see repro.nn.layers.stack_seed_modules).
-BATCHED_SEED_METHODS = ("gcn", "gin", "ood-gnn")
+# Everything in the zoo except FactorGCN, whose per-factor GEMV attention has
+# no bitwise-safe batched equivalent and stays sequential.
+BATCHED_SEED_METHODS = (
+    "gcn",
+    "gcn-virtual",
+    "gin",
+    "gin-virtual",
+    "pna",
+    "topkpool",
+    "sagpool",
+    "gat",
+    "sage",
+    "ood-gnn",
+)
 
 
 @dataclass

@@ -15,10 +15,10 @@ from repro.autograd import functional as F
 from repro.graph.segment import segment_sum, segment_mean, segment_softmax
 from repro.graph.utils import add_self_loops
 from repro.nn.module import Module, Parameter
-from repro.nn.layers import Linear
+from repro.nn.layers import Linear, SeedLinear, SeedStackingError, register_seed_stacker
 from repro.nn import init
 
-__all__ = ["GATConv", "SAGEConv"]
+__all__ = ["GATConv", "SAGEConv", "SeedGATConv", "SeedSAGEConv"]
 
 
 class GATConv(Module):
@@ -83,3 +83,97 @@ class SAGEConv(Module):
             norms = (out * out).sum(axis=1, keepdims=True).sqrt() + 1e-12
             out = out / norms
         return out
+
+
+class SeedGATConv(Module):
+    """Seed-stacked :class:`GATConv` over ``(K, n, h)`` node activations.
+
+    The (self-looped) connectivity is shared across seeds; the linear map,
+    attention vectors and bias are per-seed.  Attention logits live as
+    ``(K, E, heads)`` edge scores normalised per destination segment by
+    :func:`~repro.autograd.functional.seed_segment_softmax` — every step
+    mirrors the per-seed forward on contiguous seed slices, so the batched
+    run is bitwise equal to K sequential :class:`GATConv` forwards.
+    """
+
+    def __init__(self, linear: SeedLinear, att_src: np.ndarray, att_dst: np.ndarray,
+                 bias: np.ndarray, num_heads: int, negative_slope: float):
+        super().__init__()
+        self.num_seeds = att_src.shape[0]
+        self.num_heads = num_heads
+        self.head_dim = att_src.shape[2]
+        self.negative_slope = negative_slope
+        self.linear = linear
+        self.att_src = Parameter(att_src, name="att_src")
+        self.att_dst = Parameter(att_dst, name="att_dst")
+        self.bias = Parameter(bias, name="bias")
+
+    @classmethod
+    def from_layers(cls, convs: list[GATConv]) -> "SeedGATConv":
+        template = convs[0]
+        for conv in convs[1:]:
+            shape = (conv.num_heads, conv.head_dim, conv.negative_slope)
+            if shape != (template.num_heads, template.head_dim, template.negative_slope):
+                raise SeedStackingError(
+                    "cannot stack GATConv layers with differing attention hyper-parameters"
+                )
+        return cls(
+            SeedLinear.from_layers([c.linear for c in convs]),
+            np.stack([c.att_src.data for c in convs]),
+            np.stack([c.att_dst.data for c in convs]),
+            np.stack([c.bias.data for c in convs]),
+            template.num_heads,
+            template.negative_slope,
+        )
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        looped = add_self_loops(edge_index, num_nodes)
+        src, dst = looped
+        h = self.linear(x).reshape(self.num_seeds, num_nodes, self.num_heads, self.head_dim)
+        alpha_src = (h * self.att_src.unsqueeze(1)).sum(axis=3)  # (K, n, heads)
+        alpha_dst = (h * self.att_dst.unsqueeze(1)).sum(axis=3)
+        logits = (F.seed_gather(alpha_src, src) + F.seed_gather(alpha_dst, dst)).leaky_relu(
+            self.negative_slope
+        )
+        attention = F.seed_segment_softmax(logits, dst, num_nodes)  # (K, E, heads)
+        messages = F.seed_gather(h, src) * attention.unsqueeze(3)
+        out = F.seed_segment_sum(messages, dst, num_nodes)
+        out = out.reshape(self.num_seeds, num_nodes, self.num_heads * self.head_dim)
+        return out + self.bias.unsqueeze(1)
+
+
+class SeedSAGEConv(Module):
+    """Seed-stacked :class:`SAGEConv`: shared edges, per-seed linear maps."""
+
+    def __init__(self, self_linear: SeedLinear, neigh_linear: SeedLinear, normalise: bool):
+        super().__init__()
+        self.self_linear = self_linear
+        self.neigh_linear = neigh_linear
+        self.normalise = normalise
+
+    @classmethod
+    def from_layers(cls, convs: list[SAGEConv]) -> "SeedSAGEConv":
+        template = convs[0]
+        if any(c.normalise != template.normalise for c in convs[1:]):
+            raise SeedStackingError("cannot stack SAGEConv layers with differing normalise flags")
+        return cls(
+            SeedLinear.from_layers([c.self_linear for c in convs]),
+            SeedLinear.from_layers([c.neigh_linear for c in convs]),
+            template.normalise,
+        )
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        if edge_index.size:
+            src, dst = edge_index
+            neigh = F.seed_segment_mean(F.seed_gather(x, src), dst, num_nodes)
+        else:
+            neigh = x * 0.0
+        out = self.self_linear(x) + self.neigh_linear(neigh)
+        if self.normalise:
+            norms = (out * out).sum(axis=2, keepdims=True).sqrt() + 1e-12
+            out = out / norms
+        return out
+
+
+register_seed_stacker(GATConv)(SeedGATConv.from_layers)
+register_seed_stacker(SAGEConv)(SeedSAGEConv.from_layers)

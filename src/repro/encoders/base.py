@@ -18,6 +18,7 @@ from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.autograd import functional as F
 from repro.graph.data import GraphBatch
 from repro.graph.segment import segment_sum
+from repro.graph.utils import SeedEdgeIndex
 from repro.nn.module import Module, ModuleList
 from repro.nn.layers import (
     Linear,
@@ -26,6 +27,7 @@ from repro.nn.layers import (
     Dropout,
     ReLU,
     SeedLinear,
+    SeedStackingError,
     fused_sequential_forward,
     register_seed_stacker,
     stack_seed_modules,
@@ -59,6 +61,8 @@ __all__ = [
     "VirtualNodeEncoder",
     "HierarchicalPoolEncoder",
     "SeedStackedEncoder",
+    "SeedVirtualNodeEncoder",
+    "SeedHierarchicalPoolEncoder",
 ]
 
 _READOUTS = {
@@ -147,6 +151,7 @@ class StackedEncoder(GraphEncoder):
 _SEED_READOUTS = {
     "sum": F.seed_segment_sum,
     "mean": F.seed_segment_mean,
+    "max": F.seed_segment_max,
 }
 
 
@@ -167,7 +172,7 @@ class SeedStackedEncoder(GraphEncoder):
         self.norms = norms
         self.dropout = dropout
         if readout_name not in _SEED_READOUTS:
-            raise TypeError(
+            raise SeedStackingError(
                 f"no seed-stacked readout for {readout_name!r}; supported: {sorted(_SEED_READOUTS)}"
             )
         self.readout_name = readout_name
@@ -280,6 +285,90 @@ class VirtualNodeEncoder(GraphEncoder):
         return self._readout(x, batch.batch, batch.num_graphs)
 
 
+class SeedVirtualNodeEncoder(GraphEncoder):
+    """Seed-stacked :class:`VirtualNodeEncoder`: K encoders in one forward.
+
+    Virtual-node state is ``(K, num_graphs, h)``; the broadcast into node
+    features and the per-graph pooling both run through the seed-axis
+    gather/scatter primitives, and the update MLPs are seed-stacked —
+    bitwise equal to K sequential per-seed forwards.  Attribute order
+    mirrors the per-seed class so batch-norm statistics sync by module
+    traversal (see ``SeedGraphClassifier.sync_into``).
+    """
+
+    def __init__(self, embed, convs, norms, vn_updates, dropout, readout_name: str,
+                 out_dim: int, hidden_dim: int, num_seeds: int):
+        super().__init__()
+        self.embed = embed
+        self.convs = convs
+        self.norms = norms
+        self.vn_updates = vn_updates
+        self.dropout = dropout
+        if readout_name not in _SEED_READOUTS:
+            raise SeedStackingError(
+                f"no seed-stacked readout for {readout_name!r}; supported: {sorted(_SEED_READOUTS)}"
+            )
+        self.readout_name = readout_name
+        self._readout = _SEED_READOUTS[readout_name]
+        self.out_dim = out_dim
+        self.hidden_dim = hidden_dim
+        self.num_seeds = num_seeds
+
+    @classmethod
+    def from_encoders(cls, encoders: list["VirtualNodeEncoder"]) -> "SeedVirtualNodeEncoder":
+        template = encoders[0]
+        readout_names = {name for name, fn in _READOUTS.items() if fn is template._readout}
+        embed = SeedLinear.from_layers([e.embed for e in encoders])
+        convs = ModuleList(
+            [stack_seed_modules([e.convs[i] for e in encoders]) for i in range(len(template.convs))]
+        )
+        norms = ModuleList(
+            [stack_seed_modules([e.norms[i] for e in encoders]) for i in range(len(template.norms))]
+        )
+        vn_updates = ModuleList(
+            [
+                stack_seed_modules([e.vn_updates[i] for e in encoders])
+                for i in range(len(template.vn_updates))
+            ]
+        )
+        return cls(
+            embed,
+            convs,
+            norms,
+            vn_updates,
+            template.dropout,
+            next(iter(readout_names)),
+            template.out_dim,
+            template.hidden_dim,
+            len(encoders),
+        )
+
+    def node_embeddings(self, batch: GraphBatch) -> Tensor:
+        x = self.embed(Tensor(batch.x))  # (K, total_nodes, h)
+        virtual = Tensor(np.zeros((self.num_seeds, batch.num_graphs, self.hidden_dim)))
+        fused_epilogue = not is_grad_enabled()
+        for i, conv in enumerate(self.convs):
+            x = x + F.seed_gather(virtual, batch.batch)
+            x = conv(x, batch.edge_index, batch.num_nodes)
+            if fused_epilogue:
+                x = _fused_conv_epilogue(self.norms[i], None, x)
+            else:
+                x = self.norms[i](x).relu()
+            if self.dropout is not None:
+                x = self.dropout(x)
+            if i < len(self.vn_updates):
+                pooled = F.seed_segment_sum(x, batch.batch, batch.num_graphs)
+                virtual = self.vn_updates[i](virtual + pooled)
+        return x
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        x = self.node_embeddings(batch)
+        return self._readout(x, batch.batch, batch.num_graphs)
+
+
+register_seed_stacker(VirtualNodeEncoder)(SeedVirtualNodeEncoder.from_encoders)
+
+
 class HierarchicalPoolEncoder(GraphEncoder):
     """Conv -> pool ladder with per-level mean+max readouts (summed).
 
@@ -322,3 +411,62 @@ class HierarchicalPoolEncoder(GraphEncoder):
             )
             total = level if total is None else total + level
         return total
+
+
+class SeedHierarchicalPoolEncoder(GraphEncoder):
+    """Seed-stacked :class:`HierarchicalPoolEncoder`.
+
+    Node state stays rectangular ``(K, n', h)`` after every pooling stage
+    (top-k keeps a per-graph count that depends only on the shared graph
+    sizes); the per-seed surviving connectivity travels as a
+    :class:`~repro.graph.utils.SeedEdgeIndex`, which the stacked convs
+    consume as one flat disjoint-union scatter (``supports_seed_edges``).
+    Stacking is refused for conv types that cannot run on per-seed
+    connectivity, falling back to sequential per-seed runs.
+    """
+
+    def __init__(self, embed, convs, pools, out_dim: int, num_seeds: int):
+        super().__init__()
+        self.embed = embed
+        self.convs = convs
+        self.pools = pools
+        self.out_dim = out_dim
+        self.num_seeds = num_seeds
+
+    @classmethod
+    def from_encoders(cls, encoders: list["HierarchicalPoolEncoder"]) -> "SeedHierarchicalPoolEncoder":
+        template = encoders[0]
+        embed = SeedLinear.from_layers([e.embed for e in encoders])
+        convs = ModuleList(
+            [stack_seed_modules([e.convs[i] for e in encoders]) for i in range(len(template.convs))]
+        )
+        for stacked, per_seed in zip(convs, template.convs):
+            if not getattr(stacked, "supports_seed_edges", False):
+                raise SeedStackingError(
+                    f"stacked {type(per_seed).__name__} cannot run on per-seed pooled connectivity"
+                )
+        pools = ModuleList(
+            [stack_seed_modules([e.pools[i] for e in encoders]) for i in range(len(template.pools))]
+        )
+        return cls(embed, convs, pools, template.out_dim, len(encoders))
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        x = self.embed(Tensor(batch.x))  # (K, total_nodes, h)
+        edge_index = SeedEdgeIndex.from_shared(batch.edge_index, self.num_seeds, batch.num_nodes)
+        node_batch = batch.batch
+        total = None
+        for conv, pool in zip(self.convs, self.pools):
+            x = conv(x, edge_index, x.shape[1]).relu()
+            x, edge_index, node_batch = pool(x, edge_index, node_batch, batch.num_graphs)
+            level = F.concatenate(
+                [
+                    F.seed_segment_mean(x, node_batch, batch.num_graphs),
+                    F.seed_segment_max(x, node_batch, batch.num_graphs),
+                ],
+                axis=2,
+            )
+            total = level if total is None else total + level
+        return total
+
+
+register_seed_stacker(HierarchicalPoolEncoder)(SeedHierarchicalPoolEncoder.from_encoders)

@@ -20,12 +20,20 @@ from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.autograd import functional as F
 from repro.autograd import fusion
 from repro.graph.segment import segment_sum, segment_mean, segment_max
-from repro.graph.utils import add_self_loops, gcn_norm_coefficients, degrees
+from repro.graph.utils import SeedEdgeIndex, add_self_loops, gcn_norm_coefficients, degrees
 from repro.nn.module import Module, Parameter
-from repro.nn.layers import Linear, MLP, SeedLinear, SeedMLP, register_seed_stacker
+from repro.nn.layers import Linear, MLP, SeedLinear, SeedMLP, SeedStackingError, register_seed_stacker
 from repro.nn import init
 
-__all__ = ["GCNConv", "GINConv", "PNAConv", "FactorGCNConv", "SeedGCNConv", "SeedGINConv"]
+__all__ = [
+    "GCNConv",
+    "GINConv",
+    "PNAConv",
+    "FactorGCNConv",
+    "SeedGCNConv",
+    "SeedGINConv",
+    "SeedPNAConv",
+]
 
 
 class GCNConv(Module):
@@ -78,7 +86,14 @@ class SeedGCNConv(Module):
     The connectivity (and hence the normalisation coefficients) is shared
     by every seed; only the linear map is per-seed.  Part of the batched
     multi-seed engine (``docs/ARCHITECTURE.md``).
+
+    Also accepts a :class:`~repro.graph.utils.SeedEdgeIndex` — per-seed
+    connectivity as produced by the seed-stacked pooling layers — in which
+    case the aggregation runs as one flat 2-D scatter over the
+    ``(K * n, h)`` reshaped activations (``supports_seed_edges``).
     """
+
+    supports_seed_edges = True
 
     def __init__(self, linear: SeedLinear):
         super().__init__()
@@ -88,13 +103,33 @@ class SeedGCNConv(Module):
     def from_layers(cls, convs: list[GCNConv]) -> "SeedGCNConv":
         return cls(SeedLinear.from_layers([c.linear for c in convs]))
 
-    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+    def forward(self, x: Tensor, edge_index, num_nodes: int) -> Tensor:
+        if isinstance(edge_index, SeedEdgeIndex):
+            return self._forward_seed_edges(x, edge_index)
         looped = add_self_loops(edge_index, num_nodes)
         norm = gcn_norm_coefficients(looped, num_nodes)
         h = self.linear(x)
         src, dst = looped
         messages = F.seed_gather(h, src) * Tensor(norm[None, :, None])
         return F.seed_segment_sum(messages, dst, num_nodes)
+
+    def _forward_seed_edges(self, x: Tensor, edges: SeedEdgeIndex) -> Tensor:
+        """Flat seed-disjoint-union aggregation over per-seed connectivity.
+
+        The K pooled graphs form one disjoint union over ``K * n`` flat
+        nodes; self loops, normalisation and the scatter all run on the
+        flat index, preserving each seed's per-bucket accumulation order —
+        bitwise equal to K sequential :class:`GCNConv` forwards.
+        """
+        h = self.linear(x)
+        num_seeds, num_nodes, out_dim = h.shape
+        looped = edges.with_self_loops()
+        norm = gcn_norm_coefficients(looped, num_seeds * num_nodes)
+        src, dst = looped
+        flat = h.reshape(num_seeds * num_nodes, out_dim)
+        messages = flat[src] * Tensor(norm[:, None])
+        out = segment_sum(messages, dst, num_seeds * num_nodes)
+        return out.reshape(num_seeds, num_nodes, out_dim)
 
 
 class SeedGINConv(Module):
@@ -103,6 +138,8 @@ class SeedGINConv(Module):
     ``eps`` is ``(K, 1)`` so each seed's scalar broadcasts over its own
     slice of the ``(K, n, h)`` activations.
     """
+
+    supports_seed_edges = True
 
     def __init__(self, mlp: SeedMLP, eps: np.ndarray | None):
         super().__init__()
@@ -116,7 +153,12 @@ class SeedGINConv(Module):
         eps = np.stack([c.eps.data for c in convs]) if has_eps else None
         return cls(mlp, eps)
 
-    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+    def forward(self, x: Tensor, edge_index, num_nodes: int) -> Tensor:
+        if isinstance(edge_index, SeedEdgeIndex):
+            aggregated = self._aggregate_seed_edges(x, edge_index)
+            if self.eps is not None:
+                return self.mlp(_seed_eps_combine(x, self.eps, aggregated))
+            return self.mlp(x + aggregated)
         src, dst = edge_index if edge_index.size else (np.zeros(0, dtype=np.int64),) * 2
         if edge_index.size:
             aggregated = F.seed_segment_sum(F.seed_gather(x, src), dst, num_nodes)
@@ -127,6 +169,16 @@ class SeedGINConv(Module):
         else:
             combined = x + aggregated
         return self.mlp(combined)
+
+    def _aggregate_seed_edges(self, x: Tensor, edges: SeedEdgeIndex) -> Tensor:
+        """Flat sum aggregation over per-seed connectivity (see SeedGCNConv)."""
+        if edges.flat.size == 0:
+            return x * 0.0
+        num_seeds, num_nodes, dim = x.shape
+        flat = x.reshape(num_seeds * num_nodes, dim)
+        src, dst = edges.flat
+        aggregated = segment_sum(flat[src], dst, num_seeds * num_nodes)
+        return aggregated.reshape(num_seeds, num_nodes, dim)
 
 
 def _seed_eps_combine(x: Tensor, eps: Tensor, aggregated: Tensor) -> Tensor:
@@ -161,6 +213,7 @@ def _seed_eps_combine(x: Tensor, eps: Tensor, aggregated: Tensor) -> Tensor:
 
 register_seed_stacker(GCNConv)(SeedGCNConv.from_layers)
 register_seed_stacker(GINConv)(SeedGINConv.from_layers)
+# PNAConv is defined below; its stacker is registered after the class.
 
 
 class PNAConv(Module):
@@ -215,6 +268,63 @@ class PNAConv(Module):
         for agg in (mean, maxim, minim, std):
             blocks.extend([agg, agg * amplify, agg * attenuate])
         return self.post(F.concatenate(blocks, axis=1))
+
+
+class SeedPNAConv(Module):
+    """Seed-stacked :class:`PNAConv`: shared edges and delta, per-seed maps.
+
+    Every aggregator/scaler has a seed-axis counterpart (``seed_gather`` /
+    ``seed_segment_mean`` / ``seed_segment_max`` plus elementwise algebra),
+    so the 4x3 grid concatenates along the feature axis of the ``(K, n, h)``
+    stack exactly as the per-seed op does along axis 1 — bitwise parity per
+    slice.  The train-set ``degree_scale`` is dataset state shared by the
+    roster; stacking rosters trained against different deltas is refused.
+    """
+
+    def __init__(self, pre: SeedLinear, post: SeedLinear, degree_scale: float):
+        super().__init__()
+        self.degree_scale = degree_scale
+        self.pre = pre
+        self.post = post
+
+    @classmethod
+    def from_layers(cls, convs: list[PNAConv]) -> "SeedPNAConv":
+        template = convs[0]
+        if any(c.degree_scale != template.degree_scale for c in convs[1:]):
+            raise SeedStackingError(
+                "cannot stack PNAConv layers with differing degree_scale buffers"
+            )
+        return cls(
+            SeedLinear.from_layers([c.pre for c in convs]),
+            SeedLinear.from_layers([c.post for c in convs]),
+            template.degree_scale,
+        )
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
+        h = self.pre(x)
+        if edge_index.size:
+            src, dst = edge_index
+            neigh = F.seed_gather(h, src)
+            mean = F.seed_segment_mean(neigh, dst, num_nodes)
+            maxim = F.seed_segment_max(neigh, dst, num_nodes)
+            minim = -F.seed_segment_max(-neigh, dst, num_nodes)
+            sq_mean = F.seed_segment_mean(neigh * neigh, dst, num_nodes)
+            var = (sq_mean - mean * mean).relu()
+            std = (var + 1e-8).sqrt()
+        else:
+            zeros = h * 0.0
+            mean = maxim = minim = std = zeros
+        deg = degrees(edge_index, num_nodes).astype(np.float64)
+        log_deg = np.log(deg + 1.0)
+        amplify = Tensor((log_deg / self.degree_scale)[:, None])
+        attenuate = Tensor((self.degree_scale / np.maximum(log_deg, 1e-6))[:, None])
+        blocks = [h]
+        for agg in (mean, maxim, minim, std):
+            blocks.extend([agg, agg * amplify, agg * attenuate])
+        return self.post(F.concatenate(blocks, axis=2))
+
+
+register_seed_stacker(PNAConv)(SeedPNAConv.from_layers)
 
 
 class FactorGCNConv(Module):

@@ -11,8 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.autograd import functional as F
 from repro.graph.segment import segment_sum, segment_mean, segment_max
+from repro.graph.utils import SeedEdgeIndex
 from repro.nn.module import Module, Parameter
+from repro.nn.layers import SeedStackingError, register_seed_stacker, stack_seed_modules
 from repro.nn import init
 from repro.encoders.conv import GCNConv
 
@@ -24,6 +27,8 @@ __all__ = [
     "filter_edges",
     "TopKPooling",
     "SAGPooling",
+    "SeedTopKPooling",
+    "SeedSAGPooling",
 ]
 
 
@@ -118,3 +123,84 @@ class SAGPooling(Module):
         new_x = x[kept] * gate
         new_edges = filter_edges(edge_index, kept, x.shape[0])
         return new_x, new_edges, batch[kept]
+
+
+def _seed_topk(x: Tensor, scores: Tensor, edges: SeedEdgeIndex, batch: np.ndarray,
+               num_graphs: int, ratio: float):
+    """Shared select/gate/filter tail of the seed-stacked pooling layers.
+
+    Per-seed scores diverge, so each seed keeps *different* nodes — but
+    :func:`topk_select` keeps ``ceil(ratio * n_g)`` nodes per graph, a
+    count that depends only on the shared graph sizes.  Surviving node
+    state therefore stays rectangular ``(K, n', h)`` with one shared
+    per-graph assignment (``batch[kept_k]`` is identical for every seed
+    since kept indices are sorted within the block-sorted batch), and only
+    the connectivity becomes per-seed (:class:`SeedEdgeIndex`).
+    """
+    num_seeds, num_nodes = x.shape[0], x.shape[1]
+    kept = np.stack(
+        [topk_select(scores.data[k], batch, num_graphs, ratio) for k in range(num_seeds)]
+    )
+    gate = F.seed_gather(scores, kept).tanh().unsqueeze(2)
+    new_x = F.seed_gather(x, kept) * gate
+    new_edges = SeedEdgeIndex.from_per_seed(
+        [filter_edges(edges.seed_edges(k), kept[k], num_nodes) for k in range(num_seeds)],
+        kept.shape[1],
+    )
+    return new_x, new_edges, batch[kept[0]]
+
+
+class SeedTopKPooling(Module):
+    """Seed-stacked :class:`TopKPooling` over ``(K, n, h)`` activations.
+
+    Scores are one batched ``(K, in, 1)`` projection (a GEMM on both the
+    per-seed and the batched path, so bitwise-safe) scaled by each seed's
+    own ``1 / ||p_k||``; selection, gating and edge filtering run per seed
+    via :func:`_seed_topk`.
+    """
+
+    def __init__(self, projection: np.ndarray, ratio: float):
+        super().__init__()
+        self.ratio = ratio
+        self.num_seeds = projection.shape[0]
+        self.projection = Parameter(projection, name="projection")
+
+    @classmethod
+    def from_layers(cls, pools: list[TopKPooling]) -> "SeedTopKPooling":
+        template = pools[0]
+        if any(p.ratio != template.ratio for p in pools[1:]):
+            raise SeedStackingError("cannot stack TopKPooling layers with differing ratios")
+        return cls(np.stack([p.projection.data for p in pools]), template.ratio)
+
+    def forward(self, x: Tensor, edge_index: SeedEdgeIndex, batch: np.ndarray, num_graphs: int):
+        # Per-seed norms computed exactly as the per-seed layer does
+        # (np.linalg.norm over each contiguous (in, 1) slice).
+        norms = np.array(
+            [float(np.linalg.norm(self.projection.data[k])) for k in range(self.num_seeds)]
+        ) + 1e-12
+        scores = F.seed_linear(x, self.projection).squeeze(2) * Tensor((1.0 / norms)[:, None])
+        return _seed_topk(x, scores, edge_index, batch, num_graphs, self.ratio)
+
+
+class SeedSAGPooling(Module):
+    """Seed-stacked :class:`SAGPooling`: scores from a seed-stacked GCN."""
+
+    def __init__(self, score_conv, ratio: float):
+        super().__init__()
+        self.ratio = ratio
+        self.score_conv = score_conv
+
+    @classmethod
+    def from_layers(cls, pools: list[SAGPooling]) -> "SeedSAGPooling":
+        template = pools[0]
+        if any(p.ratio != template.ratio for p in pools[1:]):
+            raise SeedStackingError("cannot stack SAGPooling layers with differing ratios")
+        return cls(stack_seed_modules([p.score_conv for p in pools]), template.ratio)
+
+    def forward(self, x: Tensor, edge_index: SeedEdgeIndex, batch: np.ndarray, num_graphs: int):
+        scores = self.score_conv(x, edge_index, x.shape[1]).squeeze(2)
+        return _seed_topk(x, scores, edge_index, batch, num_graphs, self.ratio)
+
+
+register_seed_stacker(TopKPooling)(SeedTopKPooling.from_layers)
+register_seed_stacker(SAGPooling)(SeedSAGPooling.from_layers)

@@ -22,6 +22,7 @@ __all__ = [
     "is_undirected",
     "coalesce_edges",
     "undirected_edge_index",
+    "SeedEdgeIndex",
 ]
 
 
@@ -51,6 +52,76 @@ def gcn_norm_coefficients(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     deg_inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
     src, dst = edge_index
     return deg_inv_sqrt[src] * deg_inv_sqrt[dst]
+
+
+class SeedEdgeIndex:
+    """Per-seed connectivity over the flattened ``(K * num_nodes)`` node space.
+
+    The seed-stacked pooling encoders keep node state rectangular —
+    ``(K, n, h)`` with a shared per-graph assignment, because top-k keeps
+    ``ceil(ratio * n_g)`` nodes per graph regardless of the scores — but
+    each seed selects *different* nodes, so the surviving edge lists
+    diverge per seed.  This container represents those K edge lists as one
+    flat seed-major ``(2, sum_k E_k)`` index into the ``K * n`` node space
+    (seed ``k``'s node ``v`` lives at flat row ``k * n + v``), which lets
+    the seed-stacked convs run a single 2-D gather/scatter over the
+    reshaped ``(K * n, h)`` activations.  Per-bucket scatter order matches
+    the per-seed runs (each seed's edges keep their original order and
+    never interleave), so flat message passing stays bitwise equal to K
+    sequential forwards.
+    """
+
+    __slots__ = ("flat", "counts", "num_nodes", "num_seeds")
+
+    def __init__(self, flat: np.ndarray, counts: np.ndarray, num_nodes: int):
+        self.flat = flat
+        self.counts = counts
+        self.num_nodes = int(num_nodes)
+        self.num_seeds = len(counts)
+
+    @classmethod
+    def from_shared(cls, edge_index: np.ndarray, num_seeds: int, num_nodes: int) -> "SeedEdgeIndex":
+        """Replicate a shared edge list for every seed (offset per seed)."""
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        num_edges = edge_index.shape[1] if edge_index.size else 0
+        if num_edges == 0:
+            flat = np.zeros((2, 0), dtype=np.int64)
+        else:
+            offsets = (np.arange(num_seeds, dtype=np.int64) * num_nodes)[:, None, None]
+            flat = np.ascontiguousarray(
+                (edge_index[None, :, :] + offsets).transpose(1, 0, 2).reshape(2, -1)
+            )
+        return cls(flat, np.full(num_seeds, num_edges, dtype=np.int64), num_nodes)
+
+    @classmethod
+    def from_per_seed(cls, edge_lists: list[np.ndarray], num_nodes: int) -> "SeedEdgeIndex":
+        """Concatenate per-seed local edge lists (each ``(2, E_k)``), seed-major."""
+        counts = np.array([edges.shape[1] for edges in edge_lists], dtype=np.int64)
+        parts = [
+            np.asarray(edges, dtype=np.int64) + k * num_nodes
+            for k, edges in enumerate(edge_lists)
+        ]
+        flat = np.concatenate(parts, axis=1) if parts else np.zeros((2, 0), dtype=np.int64)
+        return cls(flat, counts, num_nodes)
+
+    def seed_edges(self, k: int) -> np.ndarray:
+        """Seed ``k``'s edges in its local ``[0, num_nodes)`` space."""
+        start = int(self.counts[:k].sum())
+        stop = start + int(self.counts[k])
+        return self.flat[:, start:stop] - k * self.num_nodes
+
+    def with_self_loops(self) -> np.ndarray:
+        """Flat edges plus one self loop per (seed, node), loops appended last.
+
+        Mirrors :func:`add_self_loops` per seed: within every destination
+        bucket the real in-edges come first (original order) and the self
+        loop last, so scatter accumulation order matches K per-seed runs.
+        """
+        loops = np.arange(self.num_seeds * self.num_nodes, dtype=np.int64)
+        loops = np.stack([loops, loops])
+        if self.flat.size == 0:
+            return loops
+        return np.concatenate([self.flat, loops], axis=1)
 
 
 def undirected_edge_index(pairs: list[tuple[int, int]]) -> np.ndarray:

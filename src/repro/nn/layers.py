@@ -441,9 +441,12 @@ def register_seed_stacker(cls):
 def stack_seed_modules(modules: list[Module]) -> Module:
     """Stack K structurally identical per-seed modules into one batched module.
 
-    Raises ``TypeError`` when no stacker covers the module type — the
-    batched engine supports the GIN/GCN family the paper's experiments
-    use; other architectures fall back to sequential multi-seed runs.
+    Raises :class:`SeedStackingError` (a ``TypeError``) when no stacker
+    covers the module type.  The registry spans the full encoder roster —
+    GIN/GCN, attention (GAT/SAGE), PNA, virtual-node and hierarchical
+    pooling assemblies; unregistered architectures (e.g. FactorGCN, whose
+    per-edge GEMV scores have no bitwise-safe batched equivalent) fall
+    back to sequential multi-seed runs.
     """
     modules = list(modules)
     if not modules:
@@ -460,8 +463,8 @@ def stack_seed_modules(modules: list[Module]) -> Module:
             return stacker(modules)
     raise SeedStackingError(
         f"no multi-seed stacker registered for {type(template).__name__}; "
-        "batched seed training supports Linear/BatchNorm1d/MLP-based encoders "
-        "(GIN, GCN) — run other architectures with batched=False"
+        "register one with register_seed_stacker or run this architecture "
+        "with batched=False (sequential per-seed)"
     )
 
 
@@ -473,8 +476,8 @@ def try_stack_seed_modules(modules: list[Module], context: str = "training") -> 
 
     The multi-seed trainers (and the serving engine's seed-ensemble path)
     use this to downgrade gracefully: when a roster has no seed-stacked
-    variant (attention, virtual-node and hierarchical-pooling encoders),
-    they fall back to K sequential passes instead of crashing — but never
+    variant (an architecture outside the registry, e.g. FactorGCN), they
+    fall back to K sequential passes instead of crashing — but never
     silently.  The warning names the unsupported encoder (via the
     registry's :class:`SeedStackingError`) and is emitted once per encoder
     type *and context* per process, so a long sweep logs one line, not one

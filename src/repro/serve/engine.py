@@ -12,10 +12,11 @@ and answers prediction requests:
 * **Tape-free forwards** — every forward runs inside
   :func:`repro.autograd.inference_mode`, the allocation-free fast path.
 * **Seed ensembles** — a K-seed artifact serves the ensemble: stackable
-  rosters (GIN/GCN family) run one seed-stacked forward via
-  :func:`~repro.nn.layers.try_stack_seed_modules`; unstackable rosters
-  (attention, virtual-node, pooling) fall back to K sequential forwards
-  with the same one-time warning pattern as training.
+  rosters (the whole encoder zoo — GCN/GIN families, GAT, SAGE, PNA,
+  virtual-node and hierarchical-pooling models) run one seed-stacked
+  forward via :func:`~repro.nn.layers.try_stack_seed_modules`; the only
+  unstackable roster (FactorGCN) falls back to K sequential forwards with
+  the same one-time warning pattern as training.
 * **Energy OOD scores** — every response carries the free energy of its
   logits (:mod:`repro.serve.ood`), and :meth:`InferenceEngine.calibrate`
   fits a flagging threshold on held-in validation graphs.

@@ -83,15 +83,15 @@ class TestBatchedFallbackWarning:
         )
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            result = run_method_multi_seed("gat", _tiny_dataset, (0,), protocol, batched=True)
-            run_method_multi_seed("gat", _tiny_dataset, (0,), protocol, batched=True)
+            result = run_method_multi_seed("factorgcn", _tiny_dataset, (0,), protocol, batched=True)
+            run_method_multi_seed("factorgcn", _tiny_dataset, (0,), protocol, batched=True)
         relevant = [
             w for w in caught
-            if issubclass(w.category, RuntimeWarning) and "'gat'" in str(w.message)
+            if issubclass(w.category, RuntimeWarning) and "'factorgcn'" in str(w.message)
         ]
         assert len(relevant) == 1
         assert "sequential" in str(relevant[0].message)
-        assert result.method == "gat"
+        assert result.method == "factorgcn"
 
     def test_supported_method_stays_silent(self):
         bench_runner._FALLBACK_WARNED.clear()

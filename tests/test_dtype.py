@@ -11,6 +11,7 @@ docs/ARCHITECTURE.md "Dtype policy").
 import numpy as np
 import pytest
 
+from encoder_specs import ENCODER_SPECS, spec_params
 from repro.autograd import (
     Tensor,
     as_compute_dtype,
@@ -19,7 +20,7 @@ from repro.autograd import (
     inference_mode,
     set_default_dtype,
 )
-from repro.encoders import available_models, build_model
+from repro.encoders import build_model
 from repro.graph.data import GraphBatch
 from repro.graph.generators import erdos_renyi
 from repro.nn.layers import BatchNorm1d, Linear
@@ -122,11 +123,12 @@ class TestModuleToDtype:
 
 
 class TestEncoderRosterTolerance:
-    @pytest.mark.parametrize("name", available_models())
-    def test_float32_outputs_close_to_float64(self, name):
+    @pytest.mark.parametrize("spec", spec_params(ENCODER_SPECS))
+    def test_float32_outputs_close_to_float64(self, spec):
+        name = spec.name
         batch = GraphBatch.from_graphs(_graphs(3, seed=2))
-        model64 = _model(name).eval()
-        model32 = _model(name).eval().to_dtype(np.float32)
+        model64 = spec.build(6, 3, np.random.default_rng(0), hidden_dim=16).eval()
+        model32 = spec.build(6, 3, np.random.default_rng(0), hidden_dim=16).eval().to_dtype(np.float32)
         with inference_mode():
             out64 = model64(batch).data
         with inference_mode(), compute_dtype(np.float32):
@@ -182,8 +184,11 @@ class TestEngineDtype:
         assert np.isfinite(calibration.threshold)
 
     def test_float32_unstackable_roster_falls_back(self):
+        from repro.nn import layers as nn_layers
+
+        nn_layers._SEQUENTIAL_FALLBACK_WARNED.clear()
         graphs = _graphs(3, seed=5)
-        models = [_model("gat", seed=s).eval() for s in range(2)]
+        models = [_model("factorgcn", seed=s).eval() for s in range(2)]
         with pytest.warns(RuntimeWarning, match="falling back"):
             engine = InferenceEngine.from_models(models, _SCHEMA, dtype="float32")
         predictions = engine.predict(graphs)

@@ -12,6 +12,7 @@ import warnings
 import numpy as np
 import pytest
 
+from encoder_specs import ENCODER_SPECS, STACKABLE_SPECS, encoder_spec, spec_params
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core import OODGNN, OODGNNConfig, OODGNNTrainer
@@ -21,6 +22,7 @@ from repro.graph.generators import erdos_renyi
 from repro.nn import layers as nn_layers
 from repro.nn.layers import stack_seed_modules, try_stack_seed_modules
 from repro.nn.losses import seed_prediction_loss, weighted_prediction_loss
+from repro.nn.module import Module
 from repro.nn.optim import clip_grad_norm, clip_grad_norm_per_seed
 from repro.training import Trainer, TrainerConfig, evaluate_model, evaluate_model_per_seed
 
@@ -114,7 +116,7 @@ class TestSeedStacking:
 
     def test_unsupported_architecture_raises(self):
         models = [
-            build_model("gat", 1, 2, np.random.default_rng(s), hidden_dim=8, num_layers=2)
+            build_model("factorgcn", 1, 2, np.random.default_rng(s), hidden_dim=8, num_layers=2)
             for s in SEEDS
         ]
         with pytest.raises(TypeError, match="no multi-seed stacker"):
@@ -131,6 +133,89 @@ class TestSeedStacking:
         scores = evaluate_model_per_seed(stacked, graphs, "accuracy")
         for k, model in enumerate(models):
             assert scores[k] == evaluate_model(model, graphs, "accuracy")
+
+
+class TestRosterParity:
+    """The full-zoo contract: every stackable spec is bitwise batched==sequential.
+
+    Parametrised over the shared :data:`conftest.ENCODER_SPECS` registry so
+    a new encoder cannot be registered without declaring (and proving) its
+    seed-stacking behaviour here.
+    """
+
+    def test_stackable_flags_match_registry(self):
+        """Each spec's `stackable` flag agrees with the live stacker registry."""
+        for spec in ENCODER_SPECS:
+            models = [spec.factory(1, 2)(s) for s in (0, 1)]
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                stacked = try_stack_seed_modules(models)
+            assert (stacked is not None) == spec.stackable, spec.name
+
+    @pytest.mark.parametrize("spec", spec_params(STACKABLE_SPECS))
+    def test_forward_matches_per_seed_models_bitwise(self, spec):
+        batch = GraphBatch.from_graphs(toy_graphs(12))
+        models = [spec.factory(1, 2)(s) for s in SEEDS]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any fallback warning fails the test
+            stacked = stack_seed_modules(models)
+            logits = stacked(batch)
+        assert logits.shape == (len(SEEDS), batch.num_graphs, 2)
+        for k, model in enumerate(models):
+            np.testing.assert_array_equal(
+                model(batch).data, logits.data[k], err_msg=f"{spec.name} seed {k}"
+            )
+
+    @pytest.mark.parametrize("spec", spec_params(STACKABLE_SPECS))
+    def test_gradients_match_per_seed_models_bitwise(self, spec):
+        batch = GraphBatch.from_graphs(toy_graphs(12))
+        models = [spec.factory(1, 2)(s) for s in SEEDS]
+        stacked = stack_seed_modules(models)
+        total, per_seed = seed_prediction_loss(stacked(batch), batch.y, "multiclass")
+        total.backward()
+        stacked_params = dict(stacked.named_parameters())
+        for k, model in enumerate(models):
+            loss = weighted_prediction_loss(model(batch), batch.y, "multiclass")
+            loss.backward()
+            for name, p in model.named_parameters():
+                np.testing.assert_array_equal(
+                    stacked_params[name].grad[k], p.grad, err_msg=f"{spec.name} {name} seed {k}"
+                )
+
+    @pytest.mark.parametrize("spec", spec_params(STACKABLE_SPECS))
+    def test_fit_many_batched_matches_sequential_bitwise(self, spec):
+        graphs = toy_graphs(24)
+        results = {}
+        for batched in (True, False):
+            trainer = Trainer(
+                None, "multiclass", TrainerConfig(epochs=2, batch_size=12),
+                np.random.default_rng(3),
+            )
+            results[batched] = trainer.fit_many(
+                graphs, seeds=SEEDS, model_factory=spec.factory(1, 2), batched=batched
+            )
+        for k in range(len(SEEDS)):
+            assert (
+                results[True].histories[k].train_loss == results[False].histories[k].train_loss
+            ), f"{spec.name} seed {k}"
+            assert_params_equal(results[True].models[k], results[False].models[k])
+
+    def test_eight_seed_gat_roster_trains_batched_without_fallback(self):
+        """ISSUE 7 acceptance: a default `fit_many` on an 8-seed GAT roster
+        runs the batched engine end to end with no sequential-fallback
+        warning."""
+        nn_layers._SEQUENTIAL_FALLBACK_WARNED.clear()
+        trainer = Trainer(
+            None, "multiclass", TrainerConfig(epochs=1, batch_size=12),
+            np.random.default_rng(3),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = trainer.fit_many(
+                toy_graphs(24), seeds=tuple(range(8)),
+                model_factory=encoder_spec("gat").factory(1, 2),
+            )
+        assert len(result.models) == 8
 
 
 class TestSeedPrimitives:
@@ -291,26 +376,44 @@ class TestFitManyParity:
             trainer.fit_many(toy_graphs(8), seeds=(), model_factory=gin_factory)
 
 
+class _UnstackableClassifier(Module):
+    """Synthetic model type with no registered seed stacker.
+
+    Wraps a perfectly stackable GIN so the sequential fallback path still
+    trains/serves normally; only the *type* is outside the registry.
+    """
+
+    def __init__(self, seed):
+        super().__init__()
+        self.inner = gin_factory(seed)
+
+    def forward(self, batch):
+        return self.inner(batch)
+
+
 class TestSequentialFallbackWarning:
-    """Unsupported encoders downgrade to sequential runs — loudly, once."""
+    """Unsupported encoders downgrade to sequential runs — loudly, once.
 
-    @staticmethod
-    def _gat_factory(seed):
-        return build_model(
-            "gat", 1, 2, np.random.default_rng((seed + 1) * 7919), hidden_dim=8, num_layers=2
-        )
+    FactorGCN is the real-roster example (its per-factor GEMV attention is
+    deliberately unregistered, see conftest.ENCODER_SPECS); the synthetic
+    `_UnstackableClassifier` exercises the same path for a model type the
+    registry has never heard of, in both training and serving contexts.
+    """
 
-    def _fit(self, graphs, batched):
+    _factorgcn_factory = staticmethod(encoder_spec("factorgcn").factory(1, 2))
+
+    def _fit(self, graphs, batched, factory=None):
         trainer = Trainer(
             None, "multiclass", TrainerConfig(epochs=2, batch_size=12), np.random.default_rng(3)
         )
         return trainer.fit_many(
-            graphs, seeds=SEEDS, model_factory=self._gat_factory, batched=batched
+            graphs, seeds=SEEDS, model_factory=factory or self._factorgcn_factory,
+            batched=batched,
         )
 
     def test_try_stack_warns_once_naming_the_encoder(self):
         nn_layers._SEQUENTIAL_FALLBACK_WARNED.clear()
-        models = [self._gat_factory(s) for s in SEEDS]
+        models = [self._factorgcn_factory(s) for s in SEEDS]
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             assert try_stack_seed_modules(models) is None
@@ -318,7 +421,7 @@ class TestSequentialFallbackWarning:
         relevant = [w for w in caught if issubclass(w.category, RuntimeWarning)]
         assert len(relevant) == 1
         message = str(relevant[0].message)
-        assert "GATConv" in message and "sequential" in message
+        assert "FactorGCNConv" in message and "sequential" in message
 
     def test_fit_many_falls_back_with_warning_and_matches_sequential(self):
         nn_layers._SEQUENTIAL_FALLBACK_WARNED.clear()
@@ -335,9 +438,40 @@ class TestSequentialFallbackWarning:
             assert res_b.histories[k].train_loss == res_s.histories[k].train_loss
             assert_params_equal(res_b.models[k], res_s.models[k])
 
+    def test_synthetic_module_fit_many_warns_once_and_matches_sequential(self):
+        nn_layers._SEQUENTIAL_FALLBACK_WARNED.clear()
+        graphs = toy_graphs(24)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res_b = self._fit(graphs, batched=True, factory=_UnstackableClassifier)
+            self._fit(graphs, batched=True, factory=_UnstackableClassifier)
+        relevant = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning) and "_UnstackableClassifier" in str(w.message)
+        ]
+        assert len(relevant) == 1  # keyed once per context/model pair
+        assert "training" in str(relevant[0].message)
+        res_s = self._fit(graphs, batched=False, factory=_UnstackableClassifier)
+        for k in range(len(SEEDS)):
+            assert_params_equal(res_b.models[k], res_s.models[k])
+
+    def test_synthetic_module_serving_context_warns_separately(self):
+        """The serving context has its own one-time warning key and wording."""
+        nn_layers._SEQUENTIAL_FALLBACK_WARNED.clear()
+        models = [_UnstackableClassifier(s) for s in (0, 1)]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert try_stack_seed_modules(models, context="training") is None
+            assert try_stack_seed_modules(models, context="serving") is None
+            assert try_stack_seed_modules(models, context="serving") is None
+        relevant = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 2  # one per context, never per call
+        serving = str(relevant[1].message)
+        assert "_UnstackableClassifier" in serving and "serving" in serving
+
     def test_ood_gnn_fit_many_falls_back_with_warning(self):
-        from repro.encoders.attention import GATConv
         from repro.encoders.base import StackedEncoder
+        from repro.encoders.conv import FactorGCNConv
 
         nn_layers._SEQUENTIAL_FALLBACK_WARNED.clear()
         cfg = OODGNNConfig(
@@ -347,7 +481,7 @@ class TestSequentialFallbackWarning:
 
         def factory(seed):
             rng = np.random.default_rng((seed + 1) * 7919)
-            encoder = StackedEncoder(1, 8, 2, lambda i, o: GATConv(i, o, rng), rng)
+            encoder = StackedEncoder(1, 8, 2, lambda i, o: FactorGCNConv(i, o, 2, rng), rng)
             return OODGNN(1, 2, rng, config=cfg, encoder=encoder)
 
         trainer = OODGNNTrainer(None, "multiclass", np.random.default_rng(3), config=cfg)
@@ -357,7 +491,7 @@ class TestSequentialFallbackWarning:
                 toy_graphs(24), seeds=(0, 1), model_factory=factory, batched=True
             )
         assert any(
-            issubclass(w.category, RuntimeWarning) and "GATConv" in str(w.message)
+            issubclass(w.category, RuntimeWarning) and "FactorGCNConv" in str(w.message)
             for w in caught
         )
         assert len(result.models) == 2

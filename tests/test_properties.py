@@ -219,3 +219,95 @@ class TestMetricProperties:
         a = roc_auc(scores, labels)
         b = roc_auc(np.exp(shift * scores), labels)
         assert a == round(b, 12) or abs(a - b) < 1e-9
+
+
+class TestSeedAttentionPrimitiveProperties:
+    """Seed-batched attention primitives vs K sequential runs — bitwise.
+
+    The seed-stacked GAT path (repro.encoders.attention.SeedGATConv) is
+    built from seed_gather / seed_segment_max / seed_segment_softmax; its
+    bitwise-parity contract reduces to these primitives matching their
+    per-seed counterparts exactly, including the awkward regimes: empty
+    edge sets, single-node (singleton) segments, hugely negative logits
+    and the K=1 degenerate stack.
+    """
+
+    # Attention logits after leaky_relu can be arbitrarily negative; the
+    # shifted-exp softmax must stay exact (and finite) down to -1e30.
+    logit_floats = st.floats(min_value=-1e30, max_value=100, allow_nan=False)
+
+    @given(
+        num_seeds=st.integers(1, 4),
+        num_elements=st.integers(0, 20),
+        num_segments=st.integers(1, 25),
+        seed=st.integers(0, 10_000),
+        low=logit_floats,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seed_segment_softmax_matches_sequential_bitwise(
+        self, num_seeds, num_elements, num_segments, seed, low
+    ):
+        rng = np.random.default_rng(seed)
+        ids = np.sort(rng.integers(0, num_segments, size=num_elements))
+        data = rng.normal(size=(num_seeds, num_elements))
+        if num_elements:
+            data[rng.integers(0, num_seeds), rng.integers(0, num_elements)] = low
+        out = F.seed_segment_softmax(Tensor(data), ids, num_segments).data
+        assert np.isfinite(out).all()
+        for k in range(num_seeds):
+            ref = F.segment_softmax(Tensor(data[k]), ids, num_segments).data
+            np.testing.assert_array_equal(out[k], ref, err_msg=f"seed {k}")
+
+    @given(
+        num_seeds=st.integers(1, 4),
+        num_elements=st.integers(0, 20),
+        num_segments=st.integers(1, 25),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seed_segment_max_matches_sequential_bitwise(
+        self, num_seeds, num_elements, num_segments, seed
+    ):
+        rng = np.random.default_rng(seed)
+        ids = np.sort(rng.integers(0, num_segments, size=num_elements))
+        data = rng.normal(size=(num_seeds, num_elements)) * 10.0
+        out = F.seed_segment_max(Tensor(data), ids, num_segments, empty_value=-1.5).data
+        for k in range(num_seeds):
+            ref = F.segment_max(Tensor(data[k]), ids, num_segments, empty_value=-1.5).data
+            np.testing.assert_array_equal(out[k], ref, err_msg=f"seed {k}")
+
+    @given(
+        num_seeds=st.integers(1, 4),
+        num_rows=st.integers(1, 12),
+        num_gathered=st.integers(0, 20),
+        per_seed_index=st.booleans(),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seed_gather_matches_sequential_bitwise(
+        self, num_seeds, num_rows, num_gathered, per_seed_index, seed
+    ):
+        """Shared (m,) and per-seed (K, m) gathers both equal x[k][index_k],
+        forward and backward."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(num_seeds, num_rows, 3))
+        if per_seed_index:
+            index = rng.integers(0, num_rows, size=(num_seeds, num_gathered))
+        else:
+            index = rng.integers(0, num_rows, size=num_gathered)
+        x = Tensor(data, requires_grad=True)
+        out = F.seed_gather(x, index)
+        upstream = rng.normal(size=out.shape)
+        out.backward(upstream)
+        for k in range(num_seeds):
+            index_k = index[k] if per_seed_index else index
+            ref = Tensor(data[k], requires_grad=True)
+            gathered = ref[index_k] if num_gathered else ref * 0.0
+            np.testing.assert_array_equal(
+                out.data[k], data[k][index_k], err_msg=f"seed {k} forward"
+            )
+            if num_gathered:
+                gathered.backward(upstream[k])
+                np.testing.assert_array_equal(x.grad[k], ref.grad, err_msg=f"seed {k} grad")
+            else:
+                np.testing.assert_array_equal(x.grad[k], np.zeros_like(data[k]))

@@ -26,10 +26,12 @@ SCHEMA = FeatureSchema(
     metric="accuracy", num_classes=OUT_DIM, dataset="unit-test",
 )
 
-# The roster with seed-stacked variants, and representatives of every
-# unstackable family (attention, virtual-node, hierarchical pooling, PNA).
-STACKABLE = ("gin", "gcn")
-UNSTACKABLE = ("gat", "sage", "gin-virtual", "topkpool", "pna")
+# Roster lists come from the shared spec registry (tests/encoder_specs.py):
+# everything except FactorGCN has a seed-stacked variant.
+from encoder_specs import STACKABLE_SPECS, UNSTACKABLE_SPECS
+
+STACKABLE = tuple(spec.name for spec in STACKABLE_SPECS)
+UNSTACKABLE = tuple(spec.name for spec in UNSTACKABLE_SPECS)
 
 
 def make_graphs(rng, count=8):
@@ -170,7 +172,7 @@ class TestSeedEnsembleRoundTrip:
         for model, clone in zip(models, rebuilt):
             np.testing.assert_array_equal(predict(model, graphs), predict(clone, graphs))
 
-    @pytest.mark.parametrize("method", UNSTACKABLE[:2])
+    @pytest.mark.parametrize("method", UNSTACKABLE)
     def test_from_models_ensemble_round_trip(self, method, rng, tmp_path):
         """Unstackable rosters bundle via from_models and round-trip bitwise."""
         spec = ModelSpec(method, hidden_dim=8, num_layers=2)

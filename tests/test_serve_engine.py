@@ -264,7 +264,7 @@ class TestSeedEnsembles:
 
     def test_unstackable_roster_warns_once_and_serves(self, rng):
         models = [
-            build_model("gat", FEATURE_DIM, OUT_DIM, np.random.default_rng(k), hidden_dim=8, num_layers=2)
+            build_model("factorgcn", FEATURE_DIM, OUT_DIM, np.random.default_rng(k), hidden_dim=8, num_layers=2)
             for k in range(2)
         ]
         import repro.nn.layers as layers

@@ -18,9 +18,12 @@ import os
 import signal
 import time
 
+import warnings
+
 import numpy as np
 import pytest
 
+from encoder_specs import STACKABLE_SPECS, spec_params
 from repro.graph.data import GraphBatch
 from repro.graph.generators import erdos_renyi
 from repro.serve import (
@@ -145,6 +148,40 @@ class TestSharedWeights:
             assert round_tripped["shm_name"] == shared.manifest["shm_name"]
         finally:
             shared.close(unlink=True)
+
+
+class TestRosterPoolParity:
+    """Pool-vs-in-process bitwise parity for every seed-stackable roster.
+
+    Single-graph submissions resolved before the next submit force the pool
+    workers into the same one-graph micro-batches as ``predict([g])``, so
+    unlike :class:`TestWorkerPool`'s coalesced case the outputs must be
+    *bitwise* equal — and the ensemble must serve via the seed-stacked
+    forward, with no sequential-fallback warning.
+    """
+
+    @pytest.mark.parametrize("spec", spec_params(STACKABLE_SPECS))
+    def test_pool_matches_in_process_bitwise(self, spec, rng):
+        model_spec = ModelSpec(spec.name, hidden_dim=8, num_layers=2, kwargs=dict(spec.build_kwargs))
+        graphs = make_graphs(rng, 4)
+        models = []
+        for k in range(2):
+            model = model_spec.build(SCHEMA)
+            nudge = np.random.default_rng(k)
+            for p in model.parameters():
+                p.data = p.data + nudge.normal(scale=0.05, size=p.data.shape)
+            models.append(warm_up(model, graphs))
+        artifact = ModelArtifact.from_models(models, model_spec, SCHEMA)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            engine = InferenceEngine(artifact)
+            assert engine._stacked is not None, f"{spec.name} did not seed-stack"
+            direct = [engine.predict([g])[0] for g in graphs]
+        with WorkerPool(artifact, num_workers=1, flush_timeout=0.005) as pool:
+            served = [pool.submit(g).result(timeout=30.0) for g in graphs]
+        for d, s in zip(direct, served):
+            np.testing.assert_array_equal(s["output"], d.output)
+            assert s["prediction"] == d.label
 
 
 class TestWorkerPool:

@@ -11,11 +11,11 @@ clear error instead of silently doing nothing.
 import numpy as np
 import pytest
 
+from encoder_specs import ENCODER_SPECS, STACKABLE_SPECS, spec_params
 from repro.autograd import Tensor, functional as F, inference_mode, no_grad, is_grad_enabled
-from repro.encoders import available_models, build_model
 from repro.graph.data import GraphBatch
 from repro.graph.generators import erdos_renyi
-from repro.nn.layers import BatchNorm1d, Linear, SeedBatchNorm1d, SeedLinear
+from repro.nn.layers import BatchNorm1d, Linear, SeedBatchNorm1d, SeedLinear, stack_seed_modules
 
 
 @pytest.fixture
@@ -84,8 +84,15 @@ _OP_CASES = {
     "masked_frobenius": lambda a, b, w, ids: F.masked_frobenius(a @ w, np.ones((6, 3))),
     "seed_linear": lambda a, b, w, ids: F.seed_linear(a, Tensor(np.stack([w.data, w.data * 2]), requires_grad=True)),
     "seed_gather": lambda a, b, w, ids: F.seed_gather(F.stack([a, b], axis=0), ids),
+    "seed_gather_per_seed": lambda a, b, w, ids: F.seed_gather(
+        F.stack([a, b], axis=0), np.stack([ids, ids[::-1]])
+    ),
     "seed_segment_sum": lambda a, b, w, ids: F.seed_segment_sum(F.stack([a, b], axis=0), ids, 3),
     "seed_segment_mean": lambda a, b, w, ids: F.seed_segment_mean(F.stack([a, b], axis=0), ids, 3),
+    "seed_segment_max": lambda a, b, w, ids: F.seed_segment_max(F.stack([a, b], axis=0), ids, 4),
+    "seed_segment_softmax": lambda a, b, w, ids: F.seed_segment_softmax(
+        F.stack([a, b], axis=0), ids, 3
+    ),
 }
 
 
@@ -153,23 +160,40 @@ class TestLayerParity:
         np.testing.assert_array_equal(taped.data, fast.data)
 
 
+def _feature_batch(rng, count=4, feature_dim=5):
+    graphs = []
+    for _ in range(count):
+        g = erdos_renyi(int(rng.integers(6, 12)), 0.5, rng)
+        g.x = rng.normal(size=(g.num_nodes, feature_dim))
+        graphs.append(g)
+    return GraphBatch.from_graphs(graphs)
+
+
 class TestEncoderParity:
-    @pytest.mark.parametrize("name", available_models())
-    def test_full_forward_bitwise(self, name, rng):
+    @pytest.mark.parametrize("spec", spec_params(ENCODER_SPECS))
+    def test_full_forward_bitwise(self, spec, rng):
         """Every baseline's eval forward is bitwise identical tape-free."""
-        graphs = []
-        for _ in range(4):
-            g = erdos_renyi(int(rng.integers(6, 12)), 0.5, rng)
-            g.x = rng.normal(size=(g.num_nodes, 5))
-            graphs.append(g)
-        batch = GraphBatch.from_graphs(graphs)
-        model = build_model(name, 5, 3, rng, hidden_dim=8, num_layers=2)
+        batch = _feature_batch(rng)
+        model = spec.build(5, 3, rng)
         model.eval()
         taped = model(batch)
         with inference_mode():
             tape_free = model(batch)
         np.testing.assert_array_equal(taped.data, tape_free.data)
         assert taped._parents and not tape_free._parents
+
+    @pytest.mark.parametrize("spec", spec_params(STACKABLE_SPECS))
+    def test_seed_stacked_forward_bitwise(self, spec, rng):
+        """The serving path: a stacked roster's eval forward is bitwise
+        identical with and without the tape."""
+        batch = _feature_batch(rng)
+        stacked = stack_seed_modules([spec.factory(5, 3)(s) for s in (0, 1, 2)])
+        stacked.eval()
+        taped = stacked(batch)
+        with inference_mode():
+            tape_free = stacked(batch)
+        np.testing.assert_array_equal(taped.data, tape_free.data)
+        assert not tape_free._parents
 
 
 class TestBackwardError:
