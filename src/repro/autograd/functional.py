@@ -17,6 +17,7 @@ two plus bookkeeping.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -27,6 +28,11 @@ __all__ = [
     "log_softmax",
     "logsumexp",
     "scatter_add_rows",
+    "clear_scatter_cache",
+    "MessagePassOperator",
+    "message_pass",
+    "eager_message_pass",
+    "fused_message_pass_enabled",
     "segment_sum",
     "segment_mean",
     "segment_max",
@@ -86,9 +92,11 @@ try:  # scipy ships with the test/CI environment; gate it for lean installs
     from scipy.sparse import _sparsetools as _scipy_sparsetools
 
     _csc_matvecs = getattr(_scipy_sparsetools, "csc_matvecs", None)
+    _csr_matvecs = getattr(_scipy_sparsetools, "csr_matvecs", None)
 except ImportError:  # pragma: no cover - exercised only without scipy
     _scipy_sparse = None
     _csc_matvecs = None
+    _csr_matvecs = None
 
 # Tiny memo for scatter operators: within one mini-batch the same dst/src
 # index arrays drive every conv layer's scatter, so the CSC construction is
@@ -110,6 +118,12 @@ except ImportError:  # pragma: no cover - exercised only without scipy
 _SCATTER_CACHE: dict = {}
 _SCATTER_CACHE_MAX = 8
 _SCATTER_CACHE_LOCK = threading.Lock()
+
+
+def clear_scatter_cache() -> None:
+    """Drop all cached scatter operators (benchmarks' cold-cache mode)."""
+    with _SCATTER_CACHE_LOCK:
+        _SCATTER_CACHE.clear()
 
 
 def _value_dtype(*arrays) -> np.dtype:
@@ -225,6 +239,153 @@ def scatter_add_rows(out: np.ndarray, ids: np.ndarray, values: np.ndarray) -> np
         return out
     np.add.at(out, ids, values)
     return out
+
+
+def _csr_arrays(rows: np.ndarray, cols: np.ndarray, weights: np.ndarray, num_rows: int):
+    """CSR triplet for ``out[rows] += weights * values[cols]``, edge order kept.
+
+    The stable argsort groups entries by output row while preserving their
+    original edge order inside every row bucket, and ``csr_matvecs``
+    accumulates a row's entries sequentially in index order — so applying
+    the matrix reproduces the eager gather -> scale -> scatter-add chain
+    *bitwise* (same products, same per-bucket summation order; scipy's
+    axpy kernel does not contract the multiply-add).
+    """
+    perm = np.argsort(rows, kind="stable")
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=num_rows), out=indptr[1:])
+    return indptr, cols[perm], weights[perm]
+
+
+class MessagePassOperator:
+    """A fixed weighted-adjacency matmul with its transpose, built once.
+
+    Represents ``out[dst_j] += w_j * values[src_j]`` — the aggregate step
+    of every message-passing conv — as one sparse matrix whose ``data``
+    array carries the per-edge weighting (GCN symmetric norm, mean ``1/deg``,
+    or plain ones for sum aggregation).  Applying it is a single
+    ``csr_matvecs`` call: no ``(m, h)`` gathered-messages intermediate and
+    no separate norm-multiply pass, yet bitwise equal to the eager chain
+    (see :func:`_csr_arrays`).
+
+    The transpose operator is built alongside for the backward: the adjoint
+    of a fixed sparse matmul is the transposed matmul, and the transposed
+    CSR (entries stable-grouped by ``src``) accumulates exactly like the
+    eager adjoint ``scatter_add(src, w * g[dst])`` — multiplication
+    commutes bitwise and per-bucket edge order is preserved — so fused
+    training gradients match the eager tape bit for bit.
+
+    Instances are immutable and safe to share across layers and threads;
+    :func:`repro.graph.segment.message_pass_operator` caches them per
+    (edge buffer, nodes, norm kind, dtype, seeds).  Without scipy the
+    operator degrades to the reference three-pass apply.
+    """
+
+    __slots__ = (
+        "src", "dst", "weights", "num_src", "num_dst",
+        "indptr", "indices", "data", "t_indptr", "t_indices", "t_data",
+    )
+
+    def __init__(self, src, dst, weights, num_src: int, num_dst: int):
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        weights = np.ascontiguousarray(weights)
+        if src.shape != dst.shape or src.shape != weights.shape or src.ndim != 1:
+            raise ValueError(
+                f"src/dst/weights must be matching 1-D arrays, got "
+                f"{src.shape}/{dst.shape}/{weights.shape}"
+            )
+        if src.size:
+            src = _checked_ids(src, num_src)
+            dst = _checked_ids(dst, num_dst)
+        self.src, self.dst, self.weights = src, dst, weights
+        self.num_src, self.num_dst = int(num_src), int(num_dst)
+        if _csr_matvecs is None:  # pragma: no cover - exercised only without scipy
+            self.indptr = self.indices = self.data = None
+            self.t_indptr = self.t_indices = self.t_data = None
+        else:
+            self.indptr, self.indices, self.data = _csr_arrays(dst, src, weights, self.num_dst)
+            self.t_indptr, self.t_indices, self.t_data = _csr_arrays(src, dst, weights, self.num_src)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.weights.dtype
+
+    def _apply(self, indptr, indices, data, values: np.ndarray, num_rows: int,
+               num_cols: int, gather_ids: np.ndarray, scatter_ids: np.ndarray) -> np.ndarray:
+        if values.ndim != 2:
+            raise ValueError(f"expected 2-D node values, got shape {values.shape}")
+        if values.shape[0] != num_cols:
+            raise ValueError(
+                f"operator expects {num_cols} input rows, got {values.shape[0]}"
+            )
+        out = np.zeros((num_rows, values.shape[1]), dtype=values.dtype)
+        if indptr is not None and values.dtype == self.weights.dtype:
+            values = np.ascontiguousarray(values)
+            _csr_matvecs(num_rows, num_cols, values.shape[1],
+                         indptr, indices, data, values.ravel(), out.ravel())
+            return out
+        # Reference three-pass apply (scipy-less installs / foreign dtypes).
+        if self.src.size:  # pragma: no cover - fallback mirrors the fused kernel
+            messages = values[gather_ids] * self.weights.astype(values.dtype, copy=False)[:, None]
+            scatter_add_rows(out, scatter_ids, messages)
+        return out
+
+    def matmul(self, values: np.ndarray) -> np.ndarray:
+        """``A_norm @ values``: aggregate ``(num_src, h)`` into ``(num_dst, h)``."""
+        return self._apply(self.indptr, self.indices, self.data, values,
+                           self.num_dst, self.num_src, self.src, self.dst)
+
+    def t_matmul(self, grad: np.ndarray) -> np.ndarray:
+        """``A_norm^T @ grad``: the backward adjoint, ``(num_dst, h) -> (num_src, h)``."""
+        return self._apply(self.t_indptr, self.t_indices, self.t_data, grad,
+                           self.num_src, self.num_dst, self.dst, self.src)
+
+
+_MSGPASS_STATE = threading.local()
+
+
+def fused_message_pass_enabled() -> bool:
+    """Whether :func:`message_pass` routes through the fused CSR kernel."""
+    return getattr(_MSGPASS_STATE, "fused", True) and _csr_matvecs is not None
+
+
+@contextmanager
+def eager_message_pass():
+    """Route :func:`message_pass` through the reference three-pass chain.
+
+    The parity harness runs every conv under this context to pin the fused
+    kernel bitwise against the taped gather -> scale -> scatter-add path it
+    replaced; it is also the semantics scipy-less installs fall back to.
+    """
+    prev = getattr(_MSGPASS_STATE, "fused", True)
+    _MSGPASS_STATE.fused = False
+    try:
+        yield
+    finally:
+        _MSGPASS_STATE.fused = prev
+
+
+def _message_pass_reference(operator: MessagePassOperator, x: Tensor) -> Tensor:
+    """The eager three-pass aggregate the fused operator replaces."""
+    gathered = x[operator.src]
+    messages = gathered * Tensor._wrap(operator.weights[:, None])
+    return segment_sum(messages, operator.dst, operator.num_dst)
+
+
+def message_pass(operator: MessagePassOperator, x) -> Tensor:
+    """Differentiable ``A_norm @ x`` through a :class:`MessagePassOperator`.
+
+    One tape node; the backward closure is the cached transpose operator,
+    so fused forwards and backwards are each a single sparse matmul.
+    """
+    x = as_tensor(x)
+    if not fused_message_pass_enabled():
+        return _message_pass_reference(operator, x)
+    out_data = operator.matmul(x.data)
+    if not (is_grad_enabled() and (x.requires_grad or x._parents)):
+        return Tensor._wrap(out_data)
+    return Tensor._make(out_data, [(x, operator.t_matmul)])
 
 
 def segment_sum(x: Tensor, segment_ids, num_segments: int) -> Tensor:

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.autograd import functional as F
-from repro.graph.segment import segment_sum, segment_mean, segment_softmax
+from repro.graph.segment import segment_sum, segment_softmax, message_pass_operator
 from repro.graph.utils import add_self_loops
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Linear, SeedLinear, SeedStackingError, register_seed_stacker
@@ -63,6 +63,12 @@ class SAGEConv(Module):
 
     ``h' = W_self x + W_neigh mean_{u in N(v)} x_u`` with optional L2
     output normalisation as in the original paper.
+
+    The neighbourhood mean runs through the fused message-passing operator
+    with the per-edge ``1/deg(dst)`` weighting baked into the matrix — the
+    gather -> scale -> scatter form of the mean, rather than sum-then-divide
+    (same scale factors applied per edge instead of per bucket; the results
+    agree to rounding).
     """
 
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, normalise: bool = False):
@@ -74,10 +80,10 @@ class SAGEConv(Module):
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
         """Combine self features with the neighbourhood mean."""
         if edge_index.size:
-            src, dst = edge_index
-            neigh = segment_mean(x[src], dst, num_nodes)
+            operator = message_pass_operator(edge_index, num_nodes, norm="mean", dtype=x.data.dtype)
+            neigh = F.message_pass(operator, x)
         else:
-            neigh = x * 0.0
+            neigh = Tensor._wrap(np.zeros_like(x.data))
         out = self.self_linear(x) + self.neigh_linear(neigh)
         if self.normalise:
             norms = (out * out).sum(axis=1, keepdims=True).sqrt() + 1e-12
@@ -164,10 +170,14 @@ class SeedSAGEConv(Module):
 
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
         if edge_index.size:
-            src, dst = edge_index
-            neigh = F.seed_segment_mean(F.seed_gather(x, src), dst, num_nodes)
+            num_seeds, _, dim = x.shape
+            operator = message_pass_operator(
+                edge_index, num_nodes, norm="mean", dtype=x.data.dtype, num_seeds=num_seeds
+            )
+            flat = x.reshape(num_seeds * num_nodes, dim)
+            neigh = F.message_pass(operator, flat).reshape(num_seeds, num_nodes, dim)
         else:
-            neigh = x * 0.0
+            neigh = Tensor._wrap(np.zeros_like(x.data))
         out = self.self_linear(x) + self.neigh_linear(neigh)
         if self.normalise:
             norms = (out * out).sum(axis=2, keepdims=True).sqrt() + 1e-12

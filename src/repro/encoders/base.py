@@ -398,9 +398,13 @@ class HierarchicalPoolEncoder(GraphEncoder):
         x = self.embed(Tensor(batch.x))
         edge_index = batch.edge_index
         node_batch = batch.batch
+        fused_epilogue = not is_grad_enabled()
         total = None
         for conv, pool in zip(self.convs, self.pools):
-            x = conv(x, edge_index, x.shape[0]).relu()
+            x = conv(x, edge_index, x.shape[0])
+            # Tape-free: stream the fresh conv output through the chunked
+            # ReLU epilogue (same kernel as the stacked encoders).
+            x = fused_sequential_forward([_RELU], x) if fused_epilogue else x.relu()
             x, edge_index, node_batch = pool(x, edge_index, node_batch, batch.num_graphs)
             level = F.concatenate(
                 [
@@ -454,9 +458,11 @@ class SeedHierarchicalPoolEncoder(GraphEncoder):
         x = self.embed(Tensor(batch.x))  # (K, total_nodes, h)
         edge_index = SeedEdgeIndex.from_shared(batch.edge_index, self.num_seeds, batch.num_nodes)
         node_batch = batch.batch
+        fused_epilogue = not is_grad_enabled()
         total = None
         for conv, pool in zip(self.convs, self.pools):
-            x = conv(x, edge_index, x.shape[1]).relu()
+            x = conv(x, edge_index, x.shape[1])
+            x = fused_sequential_forward([_RELU], x) if fused_epilogue else x.relu()
             x, edge_index, node_batch = pool(x, edge_index, node_batch, batch.num_graphs)
             level = F.concatenate(
                 [

@@ -10,6 +10,16 @@ node features.  All follow their original papers:
   amplification, attenuation} degree scalers.
 * :class:`FactorGCNConv` — Yang et al. (2020), factorised edge attention
   producing disentangled factor graphs.
+
+The fixed-weight aggregations (GCN / GIN and their ``Seed*`` stacks, plus
+SAGE in :mod:`repro.encoders.attention`) run through the cached fused
+message-passing operator — one normalised-adjacency matmul per layer with
+the transpose cached for the backward, bitwise equal to the eager
+gather -> scale -> scatter chain.  See
+:func:`repro.graph.segment.message_pass_operator` and the "Fused message
+passing" section of ``docs/ARCHITECTURE.md``.  Dynamic-weight convs
+(GAT's attention, PNA's multi-aggregator grid, FactorGCN's factor
+attention) keep the eager segment ops.
 """
 
 from __future__ import annotations
@@ -19,8 +29,8 @@ import numpy as np
 from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.autograd import functional as F
 from repro.autograd import fusion
-from repro.graph.segment import segment_sum, segment_mean, segment_max
-from repro.graph.utils import SeedEdgeIndex, add_self_loops, gcn_norm_coefficients, degrees
+from repro.graph.segment import segment_sum, segment_mean, segment_max, message_pass_operator
+from repro.graph.utils import SeedEdgeIndex, degrees
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Linear, MLP, SeedLinear, SeedMLP, SeedStackingError, register_seed_stacker
 from repro.nn import init
@@ -45,12 +55,9 @@ class GCNConv(Module):
 
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
         """Symmetric-normalised neighbourhood aggregation (with self loops)."""
-        looped = add_self_loops(edge_index, num_nodes)
-        norm = gcn_norm_coefficients(looped, num_nodes)
         h = self.linear(x)
-        src, dst = looped
-        messages = h[src] * Tensor(norm[:, None])
-        return segment_sum(messages, dst, num_nodes)
+        operator = message_pass_operator(edge_index, num_nodes, norm="gcn", dtype=h.data.dtype)
+        return F.message_pass(operator, h)
 
 
 class GINConv(Module):
@@ -66,8 +73,13 @@ class GINConv(Module):
 
     def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
         """Sum-aggregate neighbours and transform with the GIN MLP."""
-        src, dst = edge_index if edge_index.size else (np.zeros(0, dtype=np.int64),) * 2
-        aggregated = segment_sum(x[src], dst, num_nodes) if edge_index.size else x * 0.0
+        if edge_index.size:
+            operator = message_pass_operator(edge_index, num_nodes, norm="sum", dtype=x.data.dtype)
+            aggregated = F.message_pass(operator, x)
+        else:
+            # An edge-free graph aggregates nothing: a constant zeros
+            # tensor, not a taped full-size multiply by 0.0.
+            aggregated = Tensor._wrap(np.zeros_like(x.data))
         if self.eps is not None:
             # The GIN combine epilogue as one fused node: tape-free it is
             # a single chunked kernel; taped it records one node whose
@@ -106,30 +118,31 @@ class SeedGCNConv(Module):
     def forward(self, x: Tensor, edge_index, num_nodes: int) -> Tensor:
         if isinstance(edge_index, SeedEdgeIndex):
             return self._forward_seed_edges(x, edge_index)
-        looped = add_self_loops(edge_index, num_nodes)
-        norm = gcn_norm_coefficients(looped, num_nodes)
         h = self.linear(x)
-        src, dst = looped
-        messages = F.seed_gather(h, src) * Tensor(norm[None, :, None])
-        return F.seed_segment_sum(messages, dst, num_nodes)
+        num_seeds, _, out_dim = h.shape
+        # Shared connectivity tiles block-diagonally over the K * n flat
+        # node space (seed-major, preserving per-seed edge order), so the
+        # whole stack aggregates in one fused matmul — bitwise equal to K
+        # per-seed GCNConv aggregations.
+        operator = message_pass_operator(
+            edge_index, num_nodes, norm="gcn", dtype=h.data.dtype, num_seeds=num_seeds
+        )
+        flat = h.reshape(num_seeds * num_nodes, out_dim)
+        return F.message_pass(operator, flat).reshape(num_seeds, num_nodes, out_dim)
 
     def _forward_seed_edges(self, x: Tensor, edges: SeedEdgeIndex) -> Tensor:
         """Flat seed-disjoint-union aggregation over per-seed connectivity.
 
         The K pooled graphs form one disjoint union over ``K * n`` flat
-        nodes; self loops, normalisation and the scatter all run on the
-        flat index, preserving each seed's per-bucket accumulation order —
-        bitwise equal to K sequential :class:`GCNConv` forwards.
+        nodes; self loops, normalisation and the fused matmul all run on
+        the flat index, preserving each seed's per-bucket accumulation
+        order — bitwise equal to K sequential :class:`GCNConv` forwards.
         """
         h = self.linear(x)
         num_seeds, num_nodes, out_dim = h.shape
-        looped = edges.with_self_loops()
-        norm = gcn_norm_coefficients(looped, num_seeds * num_nodes)
-        src, dst = looped
+        operator = message_pass_operator(edges, num_nodes, norm="gcn", dtype=h.data.dtype)
         flat = h.reshape(num_seeds * num_nodes, out_dim)
-        messages = flat[src] * Tensor(norm[:, None])
-        out = segment_sum(messages, dst, num_seeds * num_nodes)
-        return out.reshape(num_seeds, num_nodes, out_dim)
+        return F.message_pass(operator, flat).reshape(num_seeds, num_nodes, out_dim)
 
 
 class SeedGINConv(Module):
@@ -159,11 +172,15 @@ class SeedGINConv(Module):
             if self.eps is not None:
                 return self.mlp(_seed_eps_combine(x, self.eps, aggregated))
             return self.mlp(x + aggregated)
-        src, dst = edge_index if edge_index.size else (np.zeros(0, dtype=np.int64),) * 2
         if edge_index.size:
-            aggregated = F.seed_segment_sum(F.seed_gather(x, src), dst, num_nodes)
+            num_seeds, _, dim = x.shape
+            operator = message_pass_operator(
+                edge_index, num_nodes, norm="sum", dtype=x.data.dtype, num_seeds=num_seeds
+            )
+            flat = x.reshape(num_seeds * num_nodes, dim)
+            aggregated = F.message_pass(operator, flat).reshape(num_seeds, num_nodes, dim)
         else:
-            aggregated = x * 0.0
+            aggregated = Tensor._wrap(np.zeros_like(x.data))
         if self.eps is not None:
             combined = _seed_eps_combine(x, self.eps, aggregated)
         else:
@@ -173,12 +190,11 @@ class SeedGINConv(Module):
     def _aggregate_seed_edges(self, x: Tensor, edges: SeedEdgeIndex) -> Tensor:
         """Flat sum aggregation over per-seed connectivity (see SeedGCNConv)."""
         if edges.flat.size == 0:
-            return x * 0.0
+            return Tensor._wrap(np.zeros_like(x.data))
         num_seeds, num_nodes, dim = x.shape
+        operator = message_pass_operator(edges, num_nodes, norm="sum", dtype=x.data.dtype)
         flat = x.reshape(num_seeds * num_nodes, dim)
-        src, dst = edges.flat
-        aggregated = segment_sum(flat[src], dst, num_seeds * num_nodes)
-        return aggregated.reshape(num_seeds, num_nodes, dim)
+        return F.message_pass(operator, flat).reshape(num_seeds, num_nodes, dim)
 
 
 def _seed_eps_combine(x: Tensor, eps: Tensor, aggregated: Tensor) -> Tensor:

@@ -7,6 +7,8 @@ TRIANGLES dataset and is validated against networkx in the test suite.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import networkx as nx
 
@@ -33,25 +35,72 @@ def degrees(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     return np.bincount(edge_index[1], minlength=num_nodes)
 
 
+# Both per-forward graph-preprocessing helpers below are memoised on the
+# edge-index *buffer* with the snapshot-copy staleness discipline of the
+# operator caches (`repro.graph.segment` / the autograd scatter cache):
+# each entry pins the keyed array, keeps a snapshot copy, and a pointer
+# hit revalidates content against the snapshot — in-place mutation of a
+# cached buffer is a rebuild, never a stale answer.  Within a mini-batch
+# the same edge buffer feeds every layer (GAT re-loops it per layer per
+# forward), so the concatenate/bincount work is paid once per topology.
+# Returned arrays are shared across callers and must be treated as
+# read-only.  Lock-guarded: the serving worker thread runs forwards
+# concurrently with main-thread predict/training.
+_PREP_CACHE: dict = {}
+_PREP_CACHE_MAX = 16
+_PREP_CACHE_LOCK = threading.Lock()
+
+
+def _prep_cached(tag: str, edge_index: np.ndarray, num_nodes: int, build):
+    interface = edge_index.__array_interface__
+    key = (tag, interface["data"][0], edge_index.shape, edge_index.strides,
+           edge_index.dtype.str, int(num_nodes))
+    with _PREP_CACHE_LOCK:
+        entry = _PREP_CACHE.get(key)
+        if entry is not None and np.array_equal(entry[1], edge_index):
+            _PREP_CACHE[key] = _PREP_CACHE.pop(key)  # LRU touch
+            return entry[2]
+    result = build()
+    with _PREP_CACHE_LOCK:
+        if key not in _PREP_CACHE and len(_PREP_CACHE) >= _PREP_CACHE_MAX:
+            _PREP_CACHE.pop(next(iter(_PREP_CACHE)))
+        _PREP_CACHE[key] = (edge_index, edge_index.copy(), result)
+    return result
+
+
 def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
-    """Append one self loop per node to ``edge_index``."""
-    loops = np.arange(num_nodes, dtype=np.int64)
-    loops = np.stack([loops, loops])
-    if edge_index.size == 0:
-        return loops
-    return np.concatenate([edge_index, loops], axis=1)
+    """Append one self loop per node to ``edge_index``.
+
+    Memoised per edge buffer (treat the result as read-only); the stable
+    returned array also lets downstream buffer-keyed operator caches hit
+    across forwards.
+    """
+
+    def build():
+        loops = np.arange(num_nodes, dtype=np.int64)
+        loops = np.stack([loops, loops])
+        if edge_index.size == 0:
+            return loops
+        return np.concatenate([edge_index, loops], axis=1)
+
+    return _prep_cached("loops", edge_index, num_nodes, build)
 
 
 def gcn_norm_coefficients(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     """Symmetric GCN normalisation ``1 / sqrt(d_u * d_v)`` per edge.
 
     ``edge_index`` is expected to already include self loops (the Kipf &
-    Welling renormalisation trick).
+    Welling renormalisation trick).  Memoised per edge buffer (treat the
+    result as read-only).
     """
-    deg = degrees(edge_index, num_nodes).astype(np.float64)
-    deg_inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
-    src, dst = edge_index
-    return deg_inv_sqrt[src] * deg_inv_sqrt[dst]
+
+    def build():
+        deg = degrees(edge_index, num_nodes).astype(np.float64)
+        deg_inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+        src, dst = edge_index
+        return deg_inv_sqrt[src] * deg_inv_sqrt[dst]
+
+    return _prep_cached("gcn-norm", edge_index, num_nodes, build)
 
 
 class SeedEdgeIndex:
