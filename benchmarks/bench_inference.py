@@ -178,6 +178,38 @@ def measure_microbatch(repeats: int = 5, num_requests: int = NUM_REQUESTS, num_n
     return timings, throughput, timings["one_at_a_time"] / timings["microbatched"]
 
 
+def measure_obs_overhead(repeats: int = 5, num_requests: int = NUM_REQUESTS, num_nodes: int = NUM_NODES):
+    """Metrics-registry overhead on the serving hot path: FLAGS on vs off.
+
+    Same engine, same graphs, interleaved best-of-rounds — the only
+    variable is :data:`repro.obs.registry.FLAGS.metrics`, so the ratio
+    isolates what the counter/histogram instrumentation costs a packed
+    serving forward.  This is the acceptance number behind the registry's
+    "< 2% with metrics on" budget (``BENCH_obs.json``, gated in CI by
+    ``tools/check_bench.py --overhead-max``).
+    """
+    from repro.obs.registry import FLAGS
+
+    model = make_model()
+    graphs = make_graphs(num_requests, num_nodes)
+    engine = InferenceEngine.from_models([model], _SCHEMA, max_graphs=BATCH_BUDGET)
+    original = FLAGS.metrics
+
+    def metrics_on():
+        FLAGS.metrics = True
+        engine.predict(graphs)
+
+    def metrics_off():
+        FLAGS.metrics = False
+        engine.predict(graphs)
+
+    try:
+        on_s, off_s = _time_interleaved([metrics_on, metrics_off], repeats)
+    finally:
+        FLAGS.metrics = original
+    return {"metrics_on": on_s, "metrics_off": off_s}, on_s / off_s
+
+
 @pytest.mark.parametrize("mode", ("taped", "tape_free"))
 def test_forward_latency(benchmark, mode):
     """Single ~256-node graph forward, taped vs tape-free."""
@@ -247,11 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_inference.json"),
         help="machine-readable output path (default: benchmarks/BENCH_inference.json)",
     )
+    parser.add_argument(
+        "--metrics", choices=("default", "on", "off", "both"), default="default",
+        help="observability metrics flag for the run: force on/off, or 'both' "
+        "to additionally measure the on-vs-off overhead ratio and write it "
+        "to --obs-json",
+    )
+    parser.add_argument(
+        "--obs-json",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_obs.json"),
+        help="obs-overhead output path for --metrics both (default: benchmarks/BENCH_obs.json)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.metrics in ("on", "off"):
+        from repro.obs.registry import FLAGS
+
+        FLAGS.metrics = args.metrics == "on"
     forward, forward_ratio = measure_tape_free(args.forward_repeats, args.nodes)
     serve, throughput, serve_ratio = measure_microbatch(args.serve_repeats, args.requests, args.nodes)
 
@@ -327,6 +374,39 @@ def main(argv=None) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.json}")
+
+    if args.metrics == "both":
+        obs_timings, overhead = measure_obs_overhead(
+            args.serve_repeats, args.requests, args.nodes
+        )
+        print("  observability overhead (metrics registry on vs off):")
+        print(
+            f"    metrics on: {obs_timings['metrics_on'] * 1e3:8.3f} ms    "
+            f"metrics off: {obs_timings['metrics_off'] * 1e3:8.3f} ms    "
+            f"overhead: {overhead:.4f}x (budget <= 1.02x)"
+        )
+        obs_payload = {
+            "benchmark": "obs_overhead",
+            "shape": {
+                "nodes": args.nodes,
+                "edge_p": EDGE_P,
+                "hidden_dim": HIDDEN_DIM,
+                "num_layers": NUM_LAYERS,
+                "requests": args.requests,
+                "batch_budget": BATCH_BUDGET,
+            },
+            "obs": {
+                "metrics_on_s": obs_timings["metrics_on"],
+                "metrics_off_s": obs_timings["metrics_off"],
+                "metrics_overhead_ratio": overhead,
+                "overhead_max": 1.02,
+            },
+        }
+        os.makedirs(os.path.dirname(os.path.abspath(args.obs_json)), exist_ok=True)
+        with open(args.obs_json, "w") as fh:
+            json.dump(obs_payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.obs_json}")
     return 0
 
 

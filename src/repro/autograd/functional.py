@@ -22,6 +22,8 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, maximum, stack, where
+from repro.obs.registry import FLAGS as _OBS_FLAGS
+from repro.obs.registry import registry as _obs_registry
 
 __all__ = [
     "softmax",
@@ -29,6 +31,7 @@ __all__ = [
     "logsumexp",
     "scatter_add_rows",
     "clear_scatter_cache",
+    "scatter_cache_info",
     "MessagePassOperator",
     "message_pass",
     "eager_message_pass",
@@ -118,12 +121,27 @@ except ImportError:  # pragma: no cover - exercised only without scipy
 _SCATTER_CACHE: dict = {}
 _SCATTER_CACHE_MAX = 8
 _SCATTER_CACHE_LOCK = threading.Lock()
+_SCATTER_CACHE_STATS = {"hits": 0, "misses": 0, "rebuilds": 0}
+
+
+def scatter_cache_info() -> dict:
+    """Scatter-cache stats in the unified ``hits/misses/rebuilds/size`` shape.
+
+    A *rebuild* is a pointer hit whose snapshot revalidation failed (the
+    keyed index buffer was mutated in place); a *miss* never saw the key.
+    """
+    with _SCATTER_CACHE_LOCK:
+        info = dict(_SCATTER_CACHE_STATS)
+        info["size"] = len(_SCATTER_CACHE)
+    return info
 
 
 def clear_scatter_cache() -> None:
     """Drop all cached scatter operators (benchmarks' cold-cache mode)."""
     with _SCATTER_CACHE_LOCK:
         _SCATTER_CACHE.clear()
+        for key in _SCATTER_CACHE_STATS:
+            _SCATTER_CACHE_STATS[key] = 0
 
 
 def _value_dtype(*arrays) -> np.dtype:
@@ -183,7 +201,9 @@ def _scatter_matrix(ids: np.ndarray, num_rows: int, dtype=np.float64):
     with _SCATTER_CACHE_LOCK:
         entry = _SCATTER_CACHE.get(key)
         if entry is not None and np.array_equal(entry[2], ids):
+            _SCATTER_CACHE_STATS["hits"] += 1
             return entry[1]
+        _SCATTER_CACHE_STATS["rebuilds" if entry is not None else "misses"] += 1
     n = len(ids)
     mat = _scipy_sparse.csc_matrix(
         (np.ones(n, dtype=dtype), _checked_ids(ids, num_rows), np.arange(n + 1)),
@@ -530,6 +550,20 @@ def masked_frobenius(matrix, mask) -> Tensor:
     return Tensor._make(out_data, [(m, lambda g: g * mk * masked)])
 
 
+# Per forward-call samples for the seed-batched GEMM engine ("shared"
+# broadcasts one (n, f) input across seeds; "stacked" is (K, n, f)).
+_SEED_GEMM_CALLS = _obs_registry.counter(
+    "repro_seed_gemm_total",
+    "seed_linear batched GEMM dispatches by input layout",
+    ("layout",),
+)
+_SEED_GEMM_ELEMENTS = _obs_registry.counter(
+    "repro_seed_gemm_out_elements_total",
+    "Output elements produced by seed_linear batched GEMMs",
+    ("layout",),
+)
+
+
 def seed_linear(x, weight, bias=None) -> Tensor:
     """Per-seed affine map over a stacked parameter bank, as one tape node.
 
@@ -566,6 +600,10 @@ def seed_linear(x, weight, bias=None) -> Tensor:
             f"expected (n, f) or (K, n, f) input for K={wd.shape[0]}, got shape {xd.shape}"
         )
     out_data = np.matmul(xd, wd)                                    # (K, n, h)
+    if _OBS_FLAGS.metrics:
+        layout = "shared" if shared else "stacked"
+        _SEED_GEMM_CALLS.inc(layout=layout)
+        _SEED_GEMM_ELEMENTS.inc(out_data.size, layout=layout)
     bt = None
     if bias is not None:
         bt = as_tensor(bias)

@@ -50,6 +50,33 @@ import threading
 import numpy as np
 
 from repro.autograd.tensor import Tensor, _unbroadcast, is_grad_enabled
+from repro.obs.registry import FLAGS as _OBS_FLAGS
+from repro.obs.registry import registry as _obs_registry
+
+# One _record_eval per materialised expression (not per chunk): three
+# counter incs per eval, behind the module-level flag check above them.
+_FUSED_EVALS = _obs_registry.counter(
+    "repro_fused_evals_total",
+    "FusedExpr materialisations by execution path (chunked/mixed-dtype)",
+    ("path",),
+)
+_FUSED_CHUNKS = _obs_registry.counter(
+    "repro_fused_chunks_total",
+    "Cache-resident row chunks executed by FusedExpr.eval",
+    ("path",),
+)
+_FUSED_BYTES = _obs_registry.counter(
+    "repro_fused_out_bytes_total",
+    "Output bytes materialised by FusedExpr.eval",
+    ("path",),
+)
+
+
+def _record_eval(path: str, chunks: int, nbytes: int) -> None:
+    _FUSED_EVALS.inc(path=path)
+    _FUSED_CHUNKS.inc(chunks, path=path)
+    _FUSED_BYTES.inc(nbytes, path=path)
+
 
 __all__ = [
     "FUSION_CHUNK_BYTES",
@@ -351,6 +378,8 @@ class FusedExpr:
                     result = op.operand_data - result
                 else:
                     result = _BINARY[op.kind](result, op.operand_data)
+            if _OBS_FLAGS.metrics:
+                _record_eval(path="mixed", chunks=1, nbytes=result.nbytes)
             if out is not None:
                 out[...] = result
                 return out
@@ -365,15 +394,19 @@ class FusedExpr:
         else:
             rows = chunk_rows
         index = [slice(None)] * max(len(shape), 1)
+        chunks = 0
         for lo, hi in chunk_ranges(n, rows):
             index[axis] = slice(lo, hi)
             sl = tuple(index[: len(shape)]) if shape else ()
             buf = out[sl] if shape else out
             src = leaf[sl] if shape else leaf
+            chunks += 1
             if not self.ops:
                 np.copyto(buf, src, casting="same_kind")
                 continue
             self._apply_ops(src, buf, lo, hi, axis, save)
+        if _OBS_FLAGS.metrics:
+            _record_eval(path="chunked", chunks=chunks, nbytes=out.nbytes)
         return out
 
     # ------------------------------------------------------------------

@@ -36,10 +36,25 @@ from repro.core.fused import FusedDecorrelation, InPlaceAdam, SeedFusedDecorrela
 from repro.core.hsic import pairwise_decorrelation_loss
 from repro.core.rff import RandomFourierFeatures, map_features_many
 from repro.nn.optim import Adam
+from repro.obs.registry import registry
+from repro.obs.trace import span
 
 __all__ = ["SampleWeightLearner", "learn_many", "project_weights", "WeightLearningResult"]
 
 BACKENDS = ("fused", "autograd")
+
+# One sample per learn() call (not per epoch): the counters live outside
+# the inner loop, so a metrics-on run adds two inc() calls per batch.
+_REWEIGHT_EPOCHS = registry.counter(
+    "repro_reweight_epochs_total",
+    "Inner reweighting epochs run, by backend path",
+    ("path",),
+)
+_REWEIGHT_SECONDS = registry.counter(
+    "repro_reweight_seconds_total",
+    "Wall seconds inside inner reweighting loops, by backend path",
+    ("path",),
+)
 
 
 def project_weights(weights: np.ndarray, floor: float = 0.0, ceiling: float | None = None) -> np.ndarray:
@@ -244,28 +259,31 @@ class SampleWeightLearner:
         feats = self.rff(z)
         losses: list[float] = []
         initial_loss = None
-        for epoch in range(self.epochs):
-            if self.resample_rff and epoch > 0:
-                feats = self.rff(z)
-            optimizer.zero_grad()
-            raw = concatenate([fixed, local]) if fixed is not None else local
-            # Normalise to mean 1 inside the objective: the loss scales
-            # with the weight magnitude, so without this the gradient is
-            # dominated by the uniform shrink direction that the sum
-            # constraint removes anyway, and the optimiser stalls.
-            weights = raw / raw.mean()
-            loss = pairwise_decorrelation_loss(feats, weights)
-            # Penalise spread around the uniform weighting (degenerate
-            # solutions concentrate all mass on a few samples).
-            deviation = weights - Tensor(np.ones(n_total))
-            penalty = (deviation * deviation).mean() * self.l2_penalty
-            total = loss + penalty
-            if initial_loss is None:
-                initial_loss = float(loss.data)
-            total.backward()
-            optimizer.step()
-            local.data = project_weights(local.data, ceiling=self.max_weight)
-            losses.append(float(loss.data))
+        with _REWEIGHT_SECONDS.time(path="autograd"):
+            for epoch in range(self.epochs):
+                with span("reweight.epoch", path="autograd", epoch=epoch, n=n_total):
+                    if self.resample_rff and epoch > 0:
+                        feats = self.rff(z)
+                    optimizer.zero_grad()
+                    raw = concatenate([fixed, local]) if fixed is not None else local
+                    # Normalise to mean 1 inside the objective: the loss scales
+                    # with the weight magnitude, so without this the gradient is
+                    # dominated by the uniform shrink direction that the sum
+                    # constraint removes anyway, and the optimiser stalls.
+                    weights = raw / raw.mean()
+                    loss = pairwise_decorrelation_loss(feats, weights)
+                    # Penalise spread around the uniform weighting (degenerate
+                    # solutions concentrate all mass on a few samples).
+                    deviation = weights - Tensor(np.ones(n_total))
+                    penalty = (deviation * deviation).mean() * self.l2_penalty
+                    total = loss + penalty
+                    if initial_loss is None:
+                        initial_loss = float(loss.data)
+                    total.backward()
+                    optimizer.step()
+                    local.data = project_weights(local.data, ceiling=self.max_weight)
+                    losses.append(float(loss.data))
+        _REWEIGHT_EPOCHS.inc(self.epochs, path="autograd")
         return local.data, losses, initial_loss
 
     # ------------------------------------------------------------------
@@ -289,20 +307,23 @@ class SampleWeightLearner:
         engine = self._fused_engine(self.rff(z))
         losses: list[float] = []
         initial_loss = None
-        for epoch in range(self.epochs):
-            if self.resample_rff and epoch > 0:
-                engine = self._fused_engine(self.rff(z))
-            raw = np.concatenate([fixed, local]) if fixed is not None else local
-            total = raw.sum()
-            weights = raw * (n_total / total)
-            loss, grad = engine.loss_and_grad(weights)
-            if initial_loss is None:
-                initial_loss = loss
-            grad += (2.0 * self.l2_penalty / n_total) * (weights - 1.0)
-            grad_raw = (grad - (raw @ grad) / total) * (n_total / total)
-            optimizer.step(local, grad_raw[n_fixed:])
-            local = project_weights(local, ceiling=self.max_weight)
-            losses.append(loss)
+        with _REWEIGHT_SECONDS.time(path="fused"):
+            for epoch in range(self.epochs):
+                with span("reweight.epoch", path="fused", epoch=epoch, n=n_total):
+                    if self.resample_rff and epoch > 0:
+                        engine = self._fused_engine(self.rff(z))
+                    raw = np.concatenate([fixed, local]) if fixed is not None else local
+                    total = raw.sum()
+                    weights = raw * (n_total / total)
+                    loss, grad = engine.loss_and_grad(weights)
+                    if initial_loss is None:
+                        initial_loss = loss
+                    grad += (2.0 * self.l2_penalty / n_total) * (weights - 1.0)
+                    grad_raw = (grad - (raw @ grad) / total) * (n_total / total)
+                    optimizer.step(local, grad_raw[n_fixed:])
+                    local = project_weights(local, ceiling=self.max_weight)
+                    losses.append(loss)
+        _REWEIGHT_EPOCHS.inc(self.epochs, path="fused")
         return local, losses, initial_loss
 
 
@@ -414,22 +435,26 @@ def learn_many(
     engine = lead._fused_seed_engine(sample_features())
     losses = np.empty((lead.epochs, num_seeds))
     initial = None
-    for epoch in range(lead.epochs):
-        if lead.resample_rff and epoch > 0:
-            engine = lead._fused_seed_engine(sample_features())
-        raw = np.concatenate([fixed, local], axis=1) if fixed is not None else local
-        total = raw.sum(axis=1)
-        weights = raw * (n_total / total)[:, None]
-        loss, grad = engine.loss_and_grad(weights)
-        if initial is None:
-            initial = loss.copy()
-        grad += (2.0 * lead.l2_penalty / n_total) * (weights - 1.0)
-        grad_raw = (
-            grad - (np.einsum("kn,kn->k", raw, grad) / total)[:, None]
-        ) * (n_total / total)[:, None]
-        optimizer.step(local, grad_raw[:, n_fixed:])
-        local = project_weights(local, ceiling=lead.max_weight)
-        losses[epoch] = loss
+    with _REWEIGHT_SECONDS.time(path="seed_batched"):
+        for epoch in range(lead.epochs):
+            with span("reweight.epoch", path="seed_batched", epoch=epoch,
+                      n=n_total, K=num_seeds):
+                if lead.resample_rff and epoch > 0:
+                    engine = lead._fused_seed_engine(sample_features())
+                raw = np.concatenate([fixed, local], axis=1) if fixed is not None else local
+                total = raw.sum(axis=1)
+                weights = raw * (n_total / total)[:, None]
+                loss, grad = engine.loss_and_grad(weights)
+                if initial is None:
+                    initial = loss.copy()
+                grad += (2.0 * lead.l2_penalty / n_total) * (weights - 1.0)
+                grad_raw = (
+                    grad - (np.einsum("kn,kn->k", raw, grad) / total)[:, None]
+                ) * (n_total / total)[:, None]
+                optimizer.step(local, grad_raw[:, n_fixed:])
+                local = project_weights(local, ceiling=lead.max_weight)
+                losses[epoch] = loss
+    _REWEIGHT_EPOCHS.inc(lead.epochs * num_seeds, path="seed_batched")
 
     projected = project_weights(local, ceiling=lead.max_weight)
     return [

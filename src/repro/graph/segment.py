@@ -44,6 +44,8 @@ from repro.autograd.functional import (
     segment_sum,
 )
 from repro.graph.utils import SeedEdgeIndex, add_self_loops, gcn_norm_coefficients
+from repro.obs.registry import FLAGS, registry
+from repro.obs.trace import span
 
 __all__ = [
     "segment_sum",
@@ -66,15 +68,48 @@ NORM_KINDS = ("gcn", "mean", "sum")
 _OPERATOR_CACHE: dict = {}
 _OPERATOR_CACHE_MAX = 16
 _OPERATOR_CACHE_LOCK = threading.Lock()
+
+# Build events only (hit counters ride the pull-time cache collector in
+# ``repro.obs.caches`` — the hot hit path carries no registry work).
+_BUILD_EVENTS = registry.counter(
+    "repro_msgpass_builds_total",
+    "Message-passing operator builds by norm and trigger (miss/rebuild)",
+    ("norm", "event"),
+)
+_BUILD_SECONDS = registry.counter(
+    "repro_msgpass_build_seconds_total",
+    "Wall seconds spent building message-passing operators",
+    ("norm",),
+)
 _OPERATOR_CACHE_STATS = {"hits": 0, "misses": 0, "rebuilds": 0}
 
 
-def message_pass_cache_info() -> dict:
-    """Snapshot of operator-cache counters (hits / misses / rebuilds / size)."""
+def _cache_info() -> dict:
+    """Operator-cache counters in the unified ``hits/misses/rebuilds/size``
+    shape (the per-cache entry behind ``repro.obs.cache_info()``)."""
     with _OPERATOR_CACHE_LOCK:
         info = dict(_OPERATOR_CACHE_STATS)
         info["size"] = len(_OPERATOR_CACHE)
         return info
+
+
+def message_pass_cache_info() -> dict:
+    """Deprecated thin shim over :func:`repro.obs.cache_info`.
+
+    .. deprecated::
+        Use ``repro.obs.cache_info()["message_pass"]`` — the unified
+        accessor covering every operator cache.  This shim returns the
+        identical dict and will be removed once external callers migrate.
+    """
+    import warnings
+
+    warnings.warn(
+        "message_pass_cache_info() is deprecated; use "
+        "repro.obs.cache_info()['message_pass']",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _cache_info()
 
 
 def clear_message_pass_cache() -> None:
@@ -186,9 +221,19 @@ def message_pass_operator(edge_index, num_nodes: int, norm: str = "sum",
                 _OPERATOR_CACHE[key] = _OPERATOR_CACHE.pop(key)
                 return entry[2]
             _OPERATOR_CACHE_STATS["rebuilds"] += 1
+            event = "rebuild"
         else:
             _OPERATOR_CACHE_STATS["misses"] += 1
-    operator = _build_operator(edge_index, num_nodes, norm, dtype, num_seeds)
+            event = "miss"
+    if FLAGS.metrics:
+        # Builds are the expensive path (CSR pair + norm coefficients);
+        # hits stay untimed — the counter bridge covers them pull-time.
+        with _BUILD_SECONDS.time(norm=norm), span("msgpass.build", norm=norm,
+                                                  event=event, seeds=num_seeds):
+            operator = _build_operator(edge_index, num_nodes, norm, dtype, num_seeds)
+        _BUILD_EVENTS.inc(norm=norm, event=event)
+    else:
+        operator = _build_operator(edge_index, num_nodes, norm, dtype, num_seeds)
     with _OPERATOR_CACHE_LOCK:
         if key not in _OPERATOR_CACHE and len(_OPERATOR_CACHE) >= _OPERATOR_CACHE_MAX:
             _OPERATOR_CACHE.pop(next(iter(_OPERATOR_CACHE)))

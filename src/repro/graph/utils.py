@@ -49,6 +49,27 @@ def degrees(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
 _PREP_CACHE: dict = {}
 _PREP_CACHE_MAX = 16
 _PREP_CACHE_LOCK = threading.Lock()
+_PREP_CACHE_STATS = {"hits": 0, "misses": 0, "rebuilds": 0}
+
+
+def prep_cache_info() -> dict:
+    """Prep-cache stats in the unified ``hits/misses/rebuilds/size`` shape.
+
+    A *rebuild* is a pointer hit whose snapshot revalidation failed (the
+    keyed edge buffer was mutated in place); a *miss* never saw the key.
+    """
+    with _PREP_CACHE_LOCK:
+        info = dict(_PREP_CACHE_STATS)
+        info["size"] = len(_PREP_CACHE)
+    return info
+
+
+def clear_prep_cache() -> None:
+    """Drop all cached prep results and reset stats (test isolation)."""
+    with _PREP_CACHE_LOCK:
+        _PREP_CACHE.clear()
+        for key in _PREP_CACHE_STATS:
+            _PREP_CACHE_STATS[key] = 0
 
 
 def _prep_cached(tag: str, edge_index: np.ndarray, num_nodes: int, build):
@@ -58,8 +79,10 @@ def _prep_cached(tag: str, edge_index: np.ndarray, num_nodes: int, build):
     with _PREP_CACHE_LOCK:
         entry = _PREP_CACHE.get(key)
         if entry is not None and np.array_equal(entry[1], edge_index):
+            _PREP_CACHE_STATS["hits"] += 1
             _PREP_CACHE[key] = _PREP_CACHE.pop(key)  # LRU touch
             return entry[2]
+        _PREP_CACHE_STATS["rebuilds" if entry is not None else "misses"] += 1
     result = build()
     with _PREP_CACHE_LOCK:
         if key not in _PREP_CACHE and len(_PREP_CACHE) >= _PREP_CACHE_MAX:

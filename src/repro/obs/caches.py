@@ -1,0 +1,70 @@
+"""Unified cache statistics: one shape for every operator cache.
+
+The runtime keeps three independent LRU caches on its hot paths — the
+message-passing operator cache (:mod:`repro.graph.segment`), the scatter
+plan cache (:mod:`repro.autograd.functional`) and the graph prep cache
+(:mod:`repro.graph.utils`).  Each historically grew its own ad-hoc stats
+accessor; this module is the one place that reads them all, normalised to
+``{"hits": int, "misses": int, "rebuilds": int, "size": int}``.
+
+The registry bridge is **pull-time only**: :func:`_cache_collector` reads
+the per-module stats dicts when ``/metrics`` is scraped (or
+``registry.snapshot()`` is taken), so cache lookups themselves carry zero
+instrumentation cost beyond the counters the cache modules already keep
+under their own locks.
+
+Imports of the cache modules happen lazily inside the accessors —
+``repro.obs`` must stay importable without dragging numpy or the autograd
+stack in.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import registry
+
+__all__ = ["cache_info", "CACHE_STAT_KEYS"]
+
+#: The unified stat shape every cache reports.
+CACHE_STAT_KEYS = ("hits", "misses", "rebuilds", "size")
+
+
+def _normalize(info: dict) -> dict:
+    return {key: int(info.get(key, 0)) for key in CACHE_STAT_KEYS}
+
+
+def cache_info() -> dict:
+    """Stats for every operator cache, one unified shape per cache.
+
+    Returns ``{"message_pass": {...}, "scatter": {...}, "prep": {...}}``
+    where each value has exactly the keys in :data:`CACHE_STAT_KEYS`.
+    """
+    from repro.autograd.functional import scatter_cache_info
+    from repro.graph import segment
+    from repro.graph.utils import prep_cache_info
+
+    return {
+        "message_pass": _normalize(segment._cache_info()),
+        "scatter": _normalize(scatter_cache_info()),
+        "prep": _normalize(prep_cache_info()),
+    }
+
+
+def _cache_collector():
+    """Pull-time bridge exposing every cache as labelled registry samples."""
+    try:
+        info = cache_info()
+    except ImportError:  # pragma: no cover - partial install / stubbed deps
+        return
+    events = []
+    sizes = []
+    for cache, stats in info.items():
+        for event in ("hits", "misses", "rebuilds"):
+            events.append(({"cache": cache, "event": event}, stats[event]))
+        sizes.append(({"cache": cache}, stats["size"]))
+    yield ("repro_cache_events_total", "counter",
+           "Operator cache lookups by cache and event (hit/miss/rebuild)", events)
+    yield ("repro_cache_entries", "gauge",
+           "Entries currently resident per operator cache", sizes)
+
+
+registry.register_collector(_cache_collector)

@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--energy-threshold", type=float, default=None,
         help="explicit OOD threshold (alternative to --calibrate)",
     )
+    parser.add_argument(
+        "--access-log", action="store_true",
+        help="--http: log one structured JSON line per request to stderr "
+        "(trace id, status, latency, energy score)",
+    )
     return parser
 
 
@@ -215,7 +220,8 @@ def _serve_http(args, artifact, engine, max_nodes, stop: threading.Event | None 
     else:
         backend = EngineBackend(engine, queue_depth=args.queue_depth or 256)
     server = serve_http(
-        backend, schema=artifact.schema, host=args.host, port=args.port
+        backend, schema=artifact.schema, host=args.host, port=args.port,
+        access_log=args.access_log,
     )
     print(
         f"serving {args.artifact} on {server.url} "

@@ -40,12 +40,47 @@ from repro.graph.data import Graph, GraphBatch
 from repro.nn.layers import try_stack_seed_modules
 from repro.serve.artifact import FeatureSchema, ModelArtifact
 from repro.serve.batcher import BatchBudget, MicroBatcher, default_max_nodes, plan_microbatches
+from repro.obs.registry import FLAGS, LATENCY_MS_BUCKETS, registry
+from repro.obs.trace import current_trace_id, span
 from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult
 from repro.serve.ood import EnergyCalibration, energy_score, fit_energy_threshold
 
 __all__ = ["Prediction", "InferenceEngine"]
 
 _STOP = object()
+
+# Engine telemetry: sampled per micro-batch (one packed forward), plus one
+# histogram observation per request served through the queue front-end.
+_ENGINE_BATCHES = registry.counter(
+    "repro_engine_batches_total",
+    "Packed micro-batch forwards, by front-end path (sync predict / queue)",
+    ("path",),
+)
+_ENGINE_REQUESTS = registry.counter(
+    "repro_engine_requests_total",
+    "Queue-front-end requests by outcome (ok / expired / error)",
+    ("outcome",),
+)
+_QUEUE_WAIT_MS = registry.histogram(
+    "repro_engine_queue_wait_ms",
+    "Milliseconds between submit() and the serving forward",
+    buckets=LATENCY_MS_BUCKETS,
+)
+_DEADLINE_SLACK_MS = registry.histogram(
+    "repro_engine_deadline_slack_ms",
+    "Milliseconds of deadline budget left when the forward starts",
+    buckets=LATENCY_MS_BUCKETS,
+)
+
+
+def _batch_span(live):
+    """Span for one queued micro-batch; arg packing only when tracing."""
+    if not FLAGS.tracing:
+        return span("engine.batch")  # the shared null span
+    trace_ids = ",".join(
+        pending.trace_id for _g, pending, _d in live if pending.trace_id is not None
+    )
+    return span("engine.batch", graphs=len(live), trace_ids=trace_ids)
 
 #: Backwards-compatible alias — the handle type moved to
 #: :mod:`repro.serve.futures` so the worker pool and HTTP layer share it.
@@ -327,10 +362,12 @@ class InferenceEngine:
             self.schema.validate_graph(graph)
         results: list[Prediction | None] = [None] * len(graphs)
         for pack in plan_microbatches([g.num_nodes for g in graphs], self.budget):
-            batch = GraphBatch.from_graphs([graphs[i] for i in pack])
-            logits = self._forward(batch)
-            for prediction in self._combine(pack, logits):
-                results[prediction.index] = prediction
+            _ENGINE_BATCHES.inc(path="sync")
+            with span("engine.batch", graphs=len(pack)):
+                batch = GraphBatch.from_graphs([graphs[i] for i in pack])
+                logits = self._forward(batch)
+                for prediction in self._combine(pack, logits):
+                    results[prediction.index] = prediction
         return results
 
     def predict_one(self, graph: Graph) -> Prediction:
@@ -367,7 +404,12 @@ class InferenceEngine:
         self._worker.start()
         return self
 
-    def submit(self, graph: Graph, deadline: float | None = None) -> PendingResult:
+    def submit(
+        self,
+        graph: Graph,
+        deadline: float | None = None,
+        trace_id: str | None = None,
+    ) -> PendingResult:
         """Enqueue one request; returns a handle with ``.result(timeout)``.
 
         The worker coalesces concurrently queued requests into one packed
@@ -380,9 +422,17 @@ class InferenceEngine:
         its handle fails with :class:`~repro.serve.futures.DeadlineExceeded`
         — serving an answer nobody is waiting for would only delay the
         requests behind it.
+
+        ``trace_id`` tags the request for tracing/metrics: it rides the
+        handle through the batcher into the worker forward's span and back
+        out (the HTTP layer echoes it as ``X-Trace-Id``).  Defaults to the
+        submitting thread's bound trace id (:func:`repro.obs.trace_context`),
+        if any.
         """
         self.schema.validate_graph(graph)
         pending = PendingResult()
+        pending.trace_id = trace_id if trace_id is not None else current_trace_id()
+        pending.enqueued_at = self.clock()
         with self._submit_lock:
             if self._queue is None:
                 if self._loop_error is not None:
@@ -443,21 +493,32 @@ class InferenceEngine:
             graph, pending, deadline = item
             if deadline is not None and now >= deadline:
                 pending._resolve(None, DeadlineExceeded("request expired before it was served"))
+                _ENGINE_REQUESTS.inc(outcome="expired")
             else:
                 live.append(item)
         if not live:
             return
+        if FLAGS.metrics:
+            _ENGINE_BATCHES.inc(path="queue")
+            for _graph, pending, deadline in live:
+                if pending.enqueued_at is not None:
+                    _QUEUE_WAIT_MS.observe((now - pending.enqueued_at) * 1000.0)
+                if deadline is not None:
+                    _DEADLINE_SLACK_MS.observe((deadline - now) * 1000.0)
         graphs = [graph for graph, _pending, _deadline in live]
         try:
-            batch = GraphBatch.from_graphs(graphs)
-            logits = self._forward(batch)
-            predictions = self._combine(range(len(live)), logits)
+            with _batch_span(live):
+                batch = GraphBatch.from_graphs(graphs)
+                logits = self._forward(batch)
+                predictions = self._combine(range(len(live)), logits)
         except BaseException as err:  # surface engine errors to every waiter
             for _graph, pending, _deadline in live:
                 pending._resolve(None, err)
+            _ENGINE_REQUESTS.inc(len(live), outcome="error")
             return
         for (_graph, pending, _deadline), prediction in zip(live, predictions):
             pending._resolve(prediction)
+        _ENGINE_REQUESTS.inc(len(live), outcome="ok")
 
     def _serve_loop(self) -> None:
         """Worker-thread entry: run the loop; on death, strand no handle.

@@ -56,6 +56,12 @@ class PendingResult:
         self._result = None
         self._error: BaseException | None = None
         self._callbacks: list = []
+        # Observability metadata stamped by the submitting front-end:
+        # the request's trace id (propagated to spans and the X-Trace-Id
+        # response header) and its enqueue instant on the backend clock
+        # (feeds the queue-wait histogram).
+        self.trace_id: str | None = None
+        self.enqueued_at: float | None = None
 
     def _resolve(self, result, error: BaseException | None = None) -> bool:
         """Deliver the outcome; returns False if already resolved."""

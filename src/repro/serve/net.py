@@ -19,7 +19,17 @@ CLI accepts::
     POST /predict   {"x": [[...], ...], "edge_index": [[s], [t]]}
                     or {"graphs": [...], "deadline_ms": 50}
     GET  /stats     live counters, p50/p99 latency, rolling OOD rate
+    GET  /metrics   Prometheus text exposition (process registry +
+                    this server's stats + aggregated worker counters)
     GET  /healthz   {"status": "ok"} (503 once draining)
+
+Every ``/predict`` response carries an ``X-Trace-Id`` header — the
+client's, when it sent one, else freshly minted — and the id is
+propagated through ``backend.submit(..., trace_id=...)`` into the
+serving spans (backends without the parameter are detected once and
+served the legacy two-argument call).  ``access_log=True`` additionally
+emits one structured JSON line per predict request (trace id, status,
+latency, energy).
 
 Production semantics, mapped onto HTTP status codes (the exception
 vocabulary of :mod:`repro.serve.futures`):
@@ -40,12 +50,16 @@ backend (which flushes its queues) and closes the socket.
 
 from __future__ import annotations
 
+import inspect
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from socketserver import ThreadingMixIn
 
+from repro.obs.registry import render_prometheus
+from repro.obs.trace import new_trace_id, trace_context
 from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult, QueueFull
 from repro.serve.stats import ServingStats
 from repro.serve.wire import graph_from_json, result_to_json
@@ -79,7 +93,8 @@ class EngineBackend:
         if engine._worker is None:
             engine.start()
 
-    def submit(self, graph, deadline: float | None = None) -> PendingResult:
+    def submit(self, graph, deadline: float | None = None,
+               trace_id: str | None = None) -> PendingResult:
         with self._lock:
             if self._inflight >= self.queue_depth:
                 raise QueueFull(
@@ -87,7 +102,7 @@ class EngineBackend:
                 )
             self._inflight += 1
         try:
-            handle = self.engine.submit(graph, deadline=deadline)
+            handle = self.engine.submit(graph, deadline=deadline, trace_id=trace_id)
         except BaseException:
             with self._lock:
                 self._inflight -= 1
@@ -128,21 +143,35 @@ class _Handler(BaseHTTPRequestHandler):
     server: "ServingServer"
 
     # ------------------------------------------------------------------
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(self, status: int, payload: dict, headers: dict | None = None) -> None:
         body = json.dumps(payload).encode()
+        self._respond_bytes(status, body, "application/json", headers)
+
+    def _respond_bytes(self, status: int, body: bytes, content_type: str,
+                       headers: dict | None = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # per-request stderr lines would swamp load tests
+        pass  # stdlib's unstructured lines would swamp load tests;
+        # the opt-in structured access log below replaces them.
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         if self.path == "/stats":
-            self._respond(200, self.server.stats.snapshot())
+            payload = self.server.stats.snapshot()
+            workers = self.server._worker_stats()
+            if workers is not None:
+                payload["workers"] = workers
+            self._respond(200, payload)
+        elif self.path == "/metrics":
+            text = render_prometheus(extra_collectors=self.server.metrics_collectors())
+            self._respond_bytes(200, text.encode(), "text/plain; version=0.0.4; charset=utf-8")
         elif self.path == "/healthz":
             if self.server.draining:
                 self._respond(503, {"status": "draining"})
@@ -157,28 +186,40 @@ class _Handler(BaseHTTPRequestHandler):
             return
         server = self.server
         stats = server.stats
+        # Every predict request gets a trace id — the client's, if it sent
+        # one — bound to this handler thread and echoed back so the caller
+        # can correlate its request with spans and access-log lines.
+        trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+        headers = {"X-Trace-Id": trace_id}
+        started = time.perf_counter()
         if server.draining:
-            self._respond(503, {"error": "server is draining"})
+            self._respond(503, {"error": "server is draining"}, headers)
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
             request = json.loads(self.rfile.read(length))
         except (ValueError, TypeError):
             stats.record_bad_request()
-            self._respond(400, {"error": "request body is not valid JSON"})
+            self._respond(400, {"error": "request body is not valid JSON"}, headers)
+            server._access_log(trace_id, 400, started, graphs=0)
             return
         try:
             payloads, single = self._request_graphs(request)
             deadline_ms = request.get("deadline_ms") if isinstance(request, dict) else None
-            results, status = self._serve(payloads, deadline_ms)
+            with trace_context(trace_id):
+                results, status = self._serve(payloads, deadline_ms)
         except ValueError as err:
             stats.record_bad_request()
-            self._respond(400, {"error": str(err)})
+            self._respond(400, {"error": str(err)}, headers)
+            server._access_log(trace_id, 400, started, graphs=0)
             return
         if single:
-            self._respond(status, results[0])
+            self._respond(status, results[0], headers)
+            energy = results[0].get("energy") if isinstance(results[0], dict) else None
         else:
-            self._respond(status, {"results": results})
+            self._respond(status, {"results": results}, headers)
+            energy = None
+        server._access_log(trace_id, status, started, graphs=len(results), energy=energy)
 
     @staticmethod
     def _request_graphs(request) -> tuple[list, bool]:
@@ -214,7 +255,7 @@ class _Handler(BaseHTTPRequestHandler):
             stats.record_received()
             try:
                 graph = graph_from_json(payload, schema=server.schema)
-                handle = backend.submit(graph, deadline=deadline)
+                handle = backend.submit(graph, deadline=deadline, **server._submit_kwargs())
             except BaseException as err:
                 status = _error_status(err)
                 self._record_failure(status)
@@ -270,6 +311,8 @@ class ServingServer(ThreadingMixIn, HTTPServer):
         address: tuple[str, int] = ("127.0.0.1", 0),
         stats: ServingStats | None = None,
         result_timeout: float = DEFAULT_RESULT_TIMEOUT,
+        access_log: bool = False,
+        access_log_stream=None,
     ):
         super().__init__(address, _Handler)
         self.backend = backend
@@ -280,6 +323,49 @@ class ServingServer(ThreadingMixIn, HTTPServer):
         self.stats = stats if stats is not None else ServingStats(clock=backend.clock)
         self.result_timeout = result_timeout
         self.draining = False
+        self.access_log = access_log
+        self.access_log_stream = access_log_stream
+        # Capability probes, taken once: older/stub backends keep the
+        # plain ``submit(graph, deadline)`` surface and get no trace ids.
+        self._submit_traces = "trace_id" in inspect.signature(backend.submit).parameters
+
+    # ------------------------------------------------------------------
+    def _submit_kwargs(self) -> dict:
+        if not self._submit_traces:
+            return {}
+        from repro.obs.trace import current_trace_id
+
+        trace_id = current_trace_id()
+        return {} if trace_id is None else {"trace_id": trace_id}
+
+    def _worker_stats(self):
+        """Aggregated worker-pool telemetry, when the backend publishes it."""
+        snapshot = getattr(self.backend, "stats_snapshot", None)
+        return snapshot() if callable(snapshot) else None
+
+    def metrics_collectors(self) -> list:
+        """Pull-time sources merged into this server's ``/metrics`` scrape."""
+        collectors = [self.stats.collect]
+        backend_collect = getattr(self.backend, "collect_metrics", None)
+        if callable(backend_collect):
+            collectors.append(backend_collect)
+        return collectors
+
+    def _access_log(self, trace_id: str, status: int, started: float,
+                    graphs: int, energy=None) -> None:
+        """One structured JSON line per predict request (opt-in)."""
+        if not self.access_log:
+            return
+        line = {
+            "trace_id": trace_id,
+            "status": status,
+            "latency_ms": round((time.perf_counter() - started) * 1e3, 3),
+            "graphs": graphs,
+        }
+        if energy is not None:
+            line["energy"] = energy
+        stream = self.access_log_stream if self.access_log_stream is not None else sys.stderr
+        print(json.dumps(line), file=stream, flush=True)
 
     @property
     def port(self) -> int:
@@ -320,6 +406,8 @@ def serve_http(
     port: int = 0,
     stats: ServingStats | None = None,
     result_timeout: float = DEFAULT_RESULT_TIMEOUT,
+    access_log: bool = False,
+    access_log_stream=None,
 ) -> ServingServer:
     """Build a :class:`ServingServer` and start its accept loop in a thread.
 
@@ -328,7 +416,9 @@ def serve_http(
     read it back from ``server.port``.
     """
     server = ServingServer(
-        backend, schema=schema, address=(host, port), stats=stats, result_timeout=result_timeout
+        backend, schema=schema, address=(host, port), stats=stats,
+        result_timeout=result_timeout, access_log=access_log,
+        access_log_stream=access_log_stream,
     )
     thread = threading.Thread(target=server.serve_until_stopped, daemon=True)
     thread.start()

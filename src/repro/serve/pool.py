@@ -42,11 +42,18 @@ import time
 
 import numpy as np
 
+from repro.obs.registry import FLAGS
+from repro.obs.trace import span
 from repro.serve.artifact import FeatureSchema, ModelArtifact, ModelSpec
 from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult, QueueFull
 from repro.serve.ood import EnergyCalibration
+from repro.serve.stats import ServingStats, aggregate_snapshots
 
 __all__ = ["SharedWeights", "WorkerPool", "process_memory"]
+
+#: Minimum seconds between a worker's stats publications — keeps the side
+#: queue to a few messages per second per worker at any request rate.
+STATS_PUBLISH_INTERVAL = 0.2
 
 _ALIGN = 64  # align every array in the bank (cache-line / SIMD friendly)
 
@@ -195,35 +202,77 @@ class SharedWeights:
 # Worker process
 # ----------------------------------------------------------------------
 
-def _serve_items(engine, items, response_q, clock) -> None:
+def _batch_span(live):
+    """Span for one worker batch; skips the trace-id join when tracing is off."""
+    if not FLAGS.tracing:
+        return span("pool.batch")
+    trace_ids = ",".join(t for _r, _g, t, _e in live if t is not None)
+    return span("pool.batch", graphs=len(live), trace_ids=trace_ids)
+
+
+def _serve_items(engine, items, response_q, clock, stats: ServingStats) -> None:
     """Serve one coalesced batch; answer every item exactly once."""
     from repro.serve.wire import result_to_json
 
     now = clock()
     live = []
-    for req_id, graph, deadline in items:
+    for req_id, graph, deadline, trace_id, enqueued in items:
+        stats.record_received()
         if deadline is not None and now >= deadline:
             response_q.put((req_id, "expired", None))
+            stats.record_expired()
         else:
-            live.append((req_id, graph))
+            live.append((req_id, graph, trace_id, enqueued))
     if not live:
         return
     try:
-        results = engine.predict([graph for _req_id, graph in live])
+        with _batch_span(live):
+            results = engine.predict([graph for _r, graph, _t, _e in live])
     except Exception as err:
         # One poisoned batch answers its own requests with the error and
         # leaves the worker alive for everything queued behind it.
-        for req_id, _graph in live:
+        for req_id, _graph, _t, _e in live:
             response_q.put((req_id, "error", f"{type(err).__name__}: {err}"))
+            stats.record_error()
         return
-    for (req_id, _graph), result in zip(live, results):
-        response_q.put((req_id, "ok", result_to_json(result)))
+    done = clock()
+    for (req_id, _graph, trace_id, enqueued), result in zip(live, results):
+        payload = result_to_json(result)
+        if trace_id is not None:
+            # Propagate the request's trace id back through the wire
+            # payload so the front-end (and clients) can correlate the
+            # response with spans recorded in this worker process.
+            payload["trace_id"] = trace_id
+        response_q.put((req_id, "ok", payload))
+        latency = done - enqueued if enqueued is not None else 0.0
+        stats.record_served(
+            latency,
+            energy=payload.get("energy"),
+            is_ood=payload.get("ood"),
+        )
 
 
-def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q) -> None:
-    """Worker entry point: attach shared weights, serve until sentinel."""
+def _publish_stats(stats_q, stats: ServingStats) -> None:
+    """Best-effort snapshot publication; a full/broken queue never kills serving."""
+    try:
+        stats_q.put_nowait((os.getpid(), stats.snapshot()))
+    except Exception:
+        pass
+
+
+def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q, stats_q) -> None:
+    """Worker entry point: attach shared weights, serve until sentinel.
+
+    Each worker keeps a process-local :class:`ServingStats` sink and
+    publishes its snapshot over ``stats_q`` — throttled to one message per
+    :data:`STATS_PUBLISH_INTERVAL` while serving, plus one final snapshot
+    on exit — so the parent can aggregate worker-side counters into the
+    front-end's ``/stats`` and ``/metrics`` views.
+    """
     calibration = engine_kwargs.pop("calibration", None)
     shared = SharedWeights.attach(manifest)
+    stats = ServingStats(clock=time.monotonic)
+    last_publish = 0.0
     try:
         engine = shared.build_engine(**engine_kwargs)
         if calibration is not None:
@@ -257,8 +306,15 @@ def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q) -> 
                     stopping = True
                     break
                 items.append(nxt)
-            _serve_items(engine, items, response_q, time.monotonic)
+            _serve_items(engine, items, response_q, time.monotonic, stats)
+            now = time.monotonic()
+            if now - last_publish >= STATS_PUBLISH_INTERVAL:
+                last_publish = now
+                _publish_stats(stats_q, stats)
     finally:
+        # Final snapshot first, then unmap: FIFO means the parent's stats
+        # collector sees the complete per-worker totals before join.
+        _publish_stats(stats_q, stats)
         shared.close()
 
 
@@ -320,8 +376,11 @@ class WorkerPool:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self._request_q = self._ctx.Queue(maxsize=self.queue_depth)
         self._response_q = self._ctx.Queue()
+        self._stats_q = self._ctx.Queue()
+        self._worker_snapshots: dict[int, dict] = {}
         self._processes: list = []
         self._dispatcher: threading.Thread | None = None
+        self._stats_collector: threading.Thread | None = None
         self._handles: dict[int, PendingResult] = {}
         self._lock = threading.Lock()
         self._next_id = 0
@@ -346,21 +405,27 @@ class WorkerPool:
         for _ in range(self.num_workers):
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(self._shared.manifest, dict(self._engine_kwargs), self._request_q, self._response_q),
+                args=(self._shared.manifest, dict(self._engine_kwargs), self._request_q,
+                      self._response_q, self._stats_q),
                 daemon=True,
             )
             proc.start()
             self._processes.append(proc)
         self._dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True)
         self._dispatcher.start()
+        self._stats_collector = threading.Thread(target=self._stats_loop, daemon=True)
+        self._stats_collector.start()
         return self
 
-    def submit(self, graph, deadline: float | None = None) -> PendingResult:
+    def submit(self, graph, deadline: float | None = None, trace_id: str | None = None) -> PendingResult:
         """Enqueue one request; full queue sheds with :class:`QueueFull`.
 
         Returns a :class:`~repro.serve.futures.PendingResult` whose
         ``result()`` is the JSON-ready response dict
-        (:func:`repro.serve.wire.result_to_json` format).
+        (:func:`repro.serve.wire.result_to_json` format).  ``trace_id``
+        travels with the request into the worker process: spans recorded
+        around the worker forward carry it, and it comes back verbatim as
+        a ``"trace_id"`` key on the response payload.
         """
         self.schema.validate_graph(graph)
         handle = PendingResult()
@@ -372,8 +437,11 @@ class WorkerPool:
             req_id = self._next_id
             self._next_id += 1
             self._handles[req_id] = handle
+        enqueued = self.clock()
+        handle.trace_id = trace_id
+        handle.enqueued_at = enqueued
         try:
-            self._request_q.put_nowait((req_id, graph, deadline))
+            self._request_q.put_nowait((req_id, graph, deadline, trace_id, enqueued))
         except queue.Full:
             with self._lock:
                 self._handles.pop(req_id, None)
@@ -403,6 +471,62 @@ class WorkerPool:
                 handle._resolve(None, DeadlineExceeded("request expired before a worker served it"))
             else:
                 handle._resolve(None, RuntimeError(f"worker error: {payload}"))
+
+    def _stats_loop(self) -> None:
+        """Fold worker stats snapshots into ``_worker_snapshots`` until sentinel."""
+        while True:
+            try:
+                msg = self._stats_q.get(timeout=0.2)
+            except queue.Empty:
+                if self._failed is not None:
+                    return
+                continue
+            except (OSError, ValueError, EOFError):
+                return
+            if msg is None:
+                return
+            pid, snap = msg
+            with self._lock:
+                self._worker_snapshots[pid] = snap
+
+    def stats_snapshot(self) -> dict:
+        """Aggregated + per-worker serving counters (for ``GET /stats``).
+
+        Workers publish their local :class:`~repro.serve.stats.ServingStats`
+        snapshots over a side queue (throttled, plus once at exit), so this
+        is eventually consistent — at most ~one publish interval stale per
+        worker under load.
+        """
+        with self._lock:
+            snaps = dict(self._worker_snapshots)
+        return {
+            "aggregate": aggregate_snapshots(snaps.values()),
+            "per_worker": {str(pid): snap for pid, snap in snaps.items()},
+        }
+
+    def collect_metrics(self):
+        """Pull-time ``/metrics`` source: aggregated worker-pool counters.
+
+        Same collector shape as :meth:`ServingStats.collect`, consumed via
+        :func:`repro.obs.render_prometheus` ``extra_collectors``.
+        """
+        snapshot = self.stats_snapshot()
+        aggregate = snapshot["aggregate"]
+        yield ("repro_pool_workers", "gauge",
+               "Worker processes in the serving pool",
+               [({}, float(len(self._processes)))])
+        yield ("repro_pool_workers_reporting", "gauge",
+               "Workers whose stats snapshots have been received",
+               [({}, float(aggregate["workers"]))])
+        yield ("repro_pool_requests_total", "counter",
+               "Worker-side request outcomes, summed across the pool",
+               [({"outcome": name}, float(value))
+                for name, value in aggregate["counts"].items()])
+        ood = aggregate["ood"]
+        yield ("repro_pool_ood_total", "counter",
+               "Worker-side energy-OOD scoring totals, summed across the pool",
+               [({"stat": "scored"}, float(ood["scored_total"])),
+                ({"stat": "flagged"}, float(ood["flagged_total"]))])
 
     def _watch_workers(self) -> bool:
         """Fail outstanding handles if a worker died; True when pool is down.
@@ -454,6 +578,12 @@ class WorkerPool:
             self._response_q.put(None)
             if self._dispatcher is not None:
                 self._dispatcher.join(timeout=join_timeout)
+            # Same for the stats side queue: every worker published a final
+            # snapshot before exit, so the collector folds complete totals
+            # in before its sentinel arrives.
+            self._stats_q.put(None)
+            if self._stats_collector is not None:
+                self._stats_collector.join(timeout=join_timeout)
         with self._lock:
             stranded = list(self._handles.values())
             self._handles.clear()
@@ -464,6 +594,8 @@ class WorkerPool:
         self._request_q.cancel_join_thread()
         self._response_q.close()
         self._response_q.cancel_join_thread()
+        self._stats_q.close()
+        self._stats_q.cancel_join_thread()
         self._shared.close(unlink=True)
 
     def __enter__(self) -> "WorkerPool":

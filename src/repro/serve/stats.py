@@ -21,11 +21,47 @@ from collections import deque
 
 import numpy as np
 
-__all__ = ["ServingStats"]
+__all__ = ["ServingStats", "aggregate_snapshots"]
+
+
+def aggregate_snapshots(snapshots) -> dict:
+    """Sum a set of :meth:`ServingStats.snapshot` payloads (worker pool).
+
+    Counts and lifetime OOD totals add; rolling-window percentiles and
+    rates do **not** aggregate across processes (each window is local), so
+    the aggregate carries only the additive fields — per-worker snapshots
+    stay available verbatim for anything window-shaped.
+    """
+    snapshots = list(snapshots)
+    counts: dict[str, int] = {}
+    scored_total = 0
+    flagged_total = 0
+    for snap in snapshots:
+        for name, value in snap.get("counts", {}).items():
+            counts[name] = counts.get(name, 0) + value
+        ood = snap.get("ood", {})
+        scored_total += ood.get("scored_total", 0)
+        flagged_total += ood.get("flagged_total", 0)
+    aggregate: dict = {
+        "workers": len(snapshots),
+        "counts": counts,
+        "ood": {"scored_total": scored_total, "flagged_total": flagged_total},
+    }
+    if scored_total:
+        aggregate["ood"]["lifetime_rate"] = flagged_total / scored_total
+    return aggregate
 
 
 def _percentiles(values, points=(50.0, 99.0)) -> dict[str, float]:
+    """Percentile summary of ``values``; all-zero on an empty window.
+
+    ``np.percentile`` raises on empty input, which would turn a ``GET
+    /stats`` before any traffic into a 500 — zeros are the honest
+    pre-traffic answer and keep the payload shape stable.
+    """
     arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return {f"p{point:g}": 0.0 for point in points}
     return {f"p{point:g}": float(np.percentile(arr, point)) for point in points}
 
 
@@ -120,13 +156,42 @@ class ServingStats:
         if energies:
             ood["rolling_mean_energy"] = float(np.mean(energies))
         latency = {"window": len(latencies)}
-        if latencies:
-            latency.update(
-                {k: v * 1e3 for k, v in _percentiles(latencies).items()}
-            )
+        # Percentile keys are always present (zeros pre-traffic) so
+        # dashboards and the regression test see a stable payload shape.
+        latency.update(
+            {k: v * 1e3 for k, v in _percentiles(latencies).items()}
+        )
         return {
             "uptime_s": uptime,
             "counts": counts,
             "ood": ood,
             "latency_ms": latency,
         }
+
+    def collect(self):
+        """Pull-time metrics source in the registry-collector shape.
+
+        Lets a front-end merge this sink into a ``/metrics`` scrape via
+        :func:`repro.obs.render_prometheus` (``extra_collectors``) without
+        registering request-scoped state process-wide.
+        """
+        snap = self.snapshot()
+        yield ("repro_serving_requests_total", "counter",
+               "Front-end requests by outcome",
+               [({"outcome": name}, value) for name, value in snap["counts"].items()])
+        yield ("repro_serving_uptime_seconds", "gauge",
+               "Seconds since this stats sink was created",
+               [({}, snap["uptime_s"])])
+        latency = snap["latency_ms"]
+        yield ("repro_serving_latency_window_ms", "gauge",
+               "Rolling served-latency percentiles (window, not cumulative)",
+               [({"quantile": key}, latency[key]) for key in latency if key != "window"])
+        ood = snap["ood"]
+        samples = [({"stat": key}, float(ood[key])) for key in
+                   ("window_scored", "scored_total", "flagged_total") if key in ood]
+        if "rolling_rate" in ood:
+            samples.append(({"stat": "rolling_rate"}, ood["rolling_rate"]))
+        if "lifetime_rate" in ood:
+            samples.append(({"stat": "lifetime_rate"}, ood["lifetime_rate"]))
+        yield ("repro_serving_ood", "gauge",
+               "Rolling energy-OOD drift telemetry", samples)

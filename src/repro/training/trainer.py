@@ -25,7 +25,26 @@ from repro.graph.data import Graph
 from repro.nn.layers import try_stack_seed_modules
 from repro.nn.losses import weighted_prediction_loss, seed_prediction_loss
 from repro.nn.optim import Adam, clip_grad_norm, clip_grad_norm_per_seed
+from repro.obs.registry import registry
+from repro.obs.trace import span
 from repro.training.loop import iterate_minibatches, evaluate_model, evaluate_model_per_seed
+
+# Sampled once per epoch / per fit call — far off the per-batch hot path.
+_TRAIN_EPOCHS = registry.counter(
+    "repro_train_epochs_total",
+    "Training epochs completed, by path (sequential / seed_batched)",
+    ("path",),
+)
+_TRAIN_BATCHES = registry.counter(
+    "repro_train_batches_total",
+    "Mini-batch optimisation steps taken, by path",
+    ("path",),
+)
+_TRAIN_SECONDS = registry.counter(
+    "repro_train_seconds_total",
+    "Wall seconds inside fit/fit_many epoch loops, by path",
+    ("path",),
+)
 
 __all__ = ["Trainer", "TrainerConfig", "TrainingHistory", "MultiSeedResult"]
 
@@ -140,13 +159,17 @@ class Trainer:
         stale = 0
         for epoch in range(cfg.epochs):
             epoch_losses = []
-            for batch in iterate_minibatches(train_graphs, cfg.batch_size, rng=self.rng):
-                self.optimizer.zero_grad()
-                loss = self._batch_loss(batch)
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                self.optimizer.step()
-                epoch_losses.append(float(loss.data))
+            with span("train.epoch", path="sequential", epoch=epoch), \
+                    _TRAIN_SECONDS.time(path="sequential"):
+                for batch in iterate_minibatches(train_graphs, cfg.batch_size, rng=self.rng):
+                    self.optimizer.zero_grad()
+                    loss = self._batch_loss(batch)
+                    loss.backward()
+                    clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                    self.optimizer.step()
+                    epoch_losses.append(float(loss.data))
+            _TRAIN_EPOCHS.inc(path="sequential")
+            _TRAIN_BATCHES.inc(len(epoch_losses), path="sequential")
             history.train_loss.append(float(np.mean(epoch_losses)))
             if valid_graphs and cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 score = evaluate_model(self.model, valid_graphs, self.metric)
@@ -237,16 +260,21 @@ class Trainer:
         optimizer = Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
         histories = [TrainingHistory() for _ in models]
         higher_is_better = self.metric != "rmse"
+        num_seeds = len(models)
         for epoch in range(cfg.epochs):
             epoch_losses = []  # one (K,) row per batch
-            for batch in iterate_minibatches(train_graphs, cfg.batch_size, rng=rng):
-                optimizer.zero_grad()
-                logits = stacked(batch)
-                total, per_seed = seed_prediction_loss(logits, batch.y, self.task_type)
-                total.backward()
-                clip_grad_norm_per_seed(params, cfg.grad_clip)
-                optimizer.step()
-                epoch_losses.append(per_seed)
+            with span("train.epoch", path="seed_batched", epoch=epoch, K=num_seeds), \
+                    _TRAIN_SECONDS.time(path="seed_batched"):
+                for batch in iterate_minibatches(train_graphs, cfg.batch_size, rng=rng):
+                    optimizer.zero_grad()
+                    logits = stacked(batch)
+                    total, per_seed = seed_prediction_loss(logits, batch.y, self.task_type)
+                    total.backward()
+                    clip_grad_norm_per_seed(params, cfg.grad_clip)
+                    optimizer.step()
+                    epoch_losses.append(per_seed)
+            _TRAIN_EPOCHS.inc(path="seed_batched")
+            _TRAIN_BATCHES.inc(len(epoch_losses), path="seed_batched")
             epoch_means = np.mean(epoch_losses, axis=0)
             for k, history in enumerate(histories):
                 history.train_loss.append(float(epoch_means[k]))

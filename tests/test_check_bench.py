@@ -9,7 +9,7 @@ import pytest
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(_ROOT, "tools"))
 
-from check_bench import collect_speedups, compare, main  # noqa: E402
+from check_bench import collect_overheads, collect_speedups, compare, main  # noqa: E402
 
 
 def _payload(speedup, shape=None, extra=None):
@@ -68,6 +68,46 @@ class TestCompare:
         assert regressions and "mismatch" in regressions[0]
 
 
+def _obs_payload(ratio):
+    return {
+        "benchmark": "obs_overhead",
+        "shape": {"nodes": 256, "requests": 64},
+        "obs": {"metrics_overhead_ratio": ratio, "overhead_max": 1.02},
+    }
+
+
+class TestOverheadCeiling:
+    """Overhead ratios gate against an absolute budget, not the baseline."""
+
+    def test_collect_finds_only_measurement_keys(self):
+        found = collect_overheads(_obs_payload(1.01))
+        assert found == {"obs.metrics_overhead_ratio": 1.01}  # not overhead_max
+
+    def test_within_budget_passes(self):
+        regressions, notes = compare(_obs_payload(1.015), _obs_payload(1.01), 0.6, 0.25)
+        assert not regressions
+        assert any("ceiling" in n and "OK" in n for n in notes)
+
+    def test_over_budget_fails_even_if_baseline_was_worse(self):
+        regressions, _ = compare(_obs_payload(1.05), _obs_payload(1.10), 0.6, 0.25)
+        assert regressions and "exceeds" in regressions[0]
+
+    def test_custom_ceiling(self):
+        regressions, _ = compare(
+            _obs_payload(1.05), _obs_payload(1.05), 0.6, 0.25, overhead_max=1.10
+        )
+        assert not regressions
+
+    def test_main_overhead_max_flag(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(_obs_payload(1.05)))
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_obs_payload(1.0)))
+        assert main([str(fresh), str(base)]) == 1
+        assert main([str(fresh), str(base), "--overhead-max", "1.10"]) == 0
+        capsys.readouterr()
+
+
 class TestMain:
     def _write(self, tmp_path, name, payload):
         path = tmp_path / name
@@ -83,7 +123,10 @@ class TestMain:
         assert main([str(tmp_path / "missing.json"), base]) == 2
         capsys.readouterr()
 
-    @pytest.mark.parametrize("bench", ("BENCH_reweight", "BENCH_multiseed", "BENCH_inference", "BENCH_fusion"))
+    @pytest.mark.parametrize(
+        "bench",
+        ("BENCH_reweight", "BENCH_multiseed", "BENCH_inference", "BENCH_fusion", "BENCH_obs"),
+    )
     def test_committed_baselines_self_compare(self, bench, capsys):
         """Every committed baseline passes the gate against itself."""
         path = os.path.join(_ROOT, "benchmarks", f"{bench}.json")

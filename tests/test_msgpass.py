@@ -26,6 +26,7 @@ from repro.graph.data import GraphBatch
 from repro.graph.generators import erdos_renyi
 from repro.graph.utils import SeedEdgeIndex
 from repro.nn.layers import stack_seed_modules
+from repro.obs import cache_info as obs_cache_info
 from repro.serve import FeatureSchema, InferenceEngine
 from repro.serve.engine import _TopologyInterner
 
@@ -181,14 +182,14 @@ class TestOperatorCache:
         first = segment.message_pass_operator(edges, NUM_NODES, norm="gcn")
         second = segment.message_pass_operator(edges, NUM_NODES, norm="gcn")
         assert first is second
-        info = segment.message_pass_cache_info()
+        info = obs_cache_info()["message_pass"]
         assert info["misses"] == 1 and info["hits"] == 1
 
     def test_cache_is_bounded(self):
         arrays = [_random_edges(seed=s) for s in range(40)]
         for edges in arrays:
             segment.message_pass_operator(edges, NUM_NODES, norm="sum")
-        assert segment.message_pass_cache_info()["size"] <= 16
+        assert obs_cache_info()["message_pass"]["size"] <= 16
 
     @settings(max_examples=25, deadline=None)
     @given(_edges_and_nodes(), st.sampled_from(segment.NORM_KINDS))
@@ -306,9 +307,9 @@ class TestServingTopologyReuse:
         graphs = self._graphs(np.random.default_rng(11))
         segment.clear_message_pass_cache()
         engine.predict(graphs)
-        before = segment.message_pass_cache_info()
+        before = obs_cache_info()["message_pass"]
         engine.predict(graphs)  # identical topology, fresh pack arrays
-        after = segment.message_pass_cache_info()
+        after = obs_cache_info()["message_pass"]
         assert after["misses"] == before["misses"]
         assert after["rebuilds"] == before["rebuilds"]
         assert after["hits"] > before["hits"]
@@ -318,7 +319,7 @@ class TestServingTopologyReuse:
         graphs = self._graphs(np.random.default_rng(12))
         segment.clear_message_pass_cache()
         engine.predict(graphs)
-        before = segment.message_pass_cache_info()
+        before = obs_cache_info()["message_pass"]
         engine.predict(graphs)
-        after = segment.message_pass_cache_info()
+        after = obs_cache_info()["message_pass"]
         assert after["misses"] > before["misses"]

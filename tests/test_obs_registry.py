@@ -1,0 +1,270 @@
+"""Metrics registry: counters/gauges/histograms, threads, exposition.
+
+Covers :mod:`repro.obs.registry`:
+
+* family semantics — get-or-create idempotence, kind/label-set conflict
+  errors, labelled series isolation;
+* **thread safety** — N writer threads hammering one counter while
+  reader threads snapshot concurrently must neither lose an increment
+  nor deadlock (the design contract: writers serialise on a per-series
+  lock, readers never take it);
+* Prometheus text exposition — ``# HELP`` / ``# TYPE`` lines, label
+  escaping (backslash, double quote, newline), histogram rendering as
+  cumulative ``_bucket{le=...}`` + ``_sum`` / ``_count``;
+* pull-time collectors and :func:`render_prometheus` extra sources;
+* the :data:`FLAGS.metrics` kill switch making every mutator a no-op.
+"""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    FLAGS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    render_prometheus,
+)
+from repro.obs.registry import registry as global_registry
+
+# One Prometheus text-format sample line: name{labels} value.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+@pytest.fixture
+def reg():
+    return Registry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("monotone_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1.0)
+
+    def test_labelled_series_are_independent(self, reg):
+        c = reg.counter("requests_total", labelnames=("outcome",))
+        c.inc(outcome="ok")
+        c.inc(3, outcome="error")
+        assert c.value(outcome="ok") == 1.0
+        assert c.value(outcome="error") == 3.0
+        assert c.value(outcome="never_seen") == 0.0
+
+    def test_missing_or_extra_labels_rejected(self, reg):
+        c = reg.counter("labelled_total", labelnames=("path",))
+        with pytest.raises(ValueError, match="requires labels"):
+            c.inc()
+        plain = reg.counter("plain_total")
+        with pytest.raises(ValueError, match="takes no labels"):
+            plain.inc(path="x")
+
+    def test_timer_accumulates_seconds(self, reg):
+        c = reg.counter("work_seconds_total")
+        with c.time():
+            pass
+        assert 0.0 < c.value() < 1.0
+
+    def test_invalid_metric_name_rejected(self, reg):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("bad-name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("inflight")
+        g.set(5.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value() == pytest.approx(4.0)
+
+
+class TestHistogram:
+    def test_cumulative_bucket_semantics(self, reg):
+        h = reg.histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.value()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+        assert snap["buckets"][0.1] == 1
+        assert snap["buckets"][1.0] == 3        # cumulative
+        assert snap["buckets"][10.0] == 4
+        assert snap["buckets"][float("inf")] == 5
+
+    def test_render_emits_bucket_sum_count(self, reg):
+        h = reg.histogram("dur_seconds", help="how long", buckets=(0.5, 2.0))
+        h.observe(1.0)
+        text = reg.render()
+        assert "# HELP dur_seconds how long" in text
+        assert "# TYPE dur_seconds histogram" in text
+        assert 'dur_seconds_bucket{le="0.5"} 0' in text
+        assert 'dur_seconds_bucket{le="2"} 1' in text
+        assert 'dur_seconds_bucket{le="+Inf"} 1' in text
+        assert "dur_seconds_sum 1" in text
+        assert "dur_seconds_count 1" in text
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError, match="bucket"):
+            Histogram("empty", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+class TestRegistrySemantics:
+    def test_get_or_create_is_idempotent(self, reg):
+        a = reg.counter("same_total", labelnames=("x",))
+        b = reg.counter("same_total", labelnames=("x",))
+        assert a is b
+
+    def test_kind_conflict_is_an_error(self, reg):
+        reg.counter("conflicted")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("conflicted")
+
+    def test_labelset_conflict_is_an_error(self, reg):
+        reg.counter("relabel_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("relabel_total", labelnames=("a", "b"))
+
+    def test_snapshot_is_json_serialisable(self, reg):
+        reg.counter("c_total", labelnames=("k",)).inc(k="v")
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped["c_total"]["kind"] == "counter"
+        assert round_tripped["c_total"]["series"][0]["labels"] == {"k": "v"}
+
+    def test_reset_drops_series_keeps_families(self, reg):
+        c = reg.counter("resettable_total")
+        c.inc(7)
+        reg.reset()
+        assert c.value() == 0.0
+        assert reg.counter("resettable_total") is c
+
+    def test_collector_samples_merge_into_render_and_snapshot(self, reg):
+        def source():
+            yield ("external_total", "counter", "from a collector",
+                   [({"src": "unit"}, 11.0)])
+
+        reg.register_collector(source)
+        reg.register_collector(source)  # idempotent
+        text = reg.render()
+        assert text.count("# TYPE external_total counter") == 1
+        assert 'external_total{src="unit"} 11' in text
+        assert reg.snapshot()["external_total"]["series"] == [
+            {"labels": {"src": "unit"}, "value": 11.0}
+        ]
+        reg.unregister_collector(source)
+        assert "external_total" not in reg.render()
+
+
+class TestPrometheusText:
+    def test_label_value_escaping(self, reg):
+        c = reg.counter("escaped_total", labelnames=("path",))
+        c.inc(path='a\\b"c\nd')
+        text = reg.render()
+        assert 'escaped_total{path="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_help_escaping(self, reg):
+        reg.counter("helpful_total", help="line one\nline two \\ end")
+        assert "# HELP helpful_total line one\\nline two \\\\ end" in reg.render()
+
+    def test_every_sample_line_is_well_formed(self, reg):
+        c = reg.counter("a_total", labelnames=("l",))
+        c.inc(l="v1")
+        c.inc(l="v2")
+        reg.gauge("b").set(2.5)
+        reg.histogram("c_seconds", buckets=(1.0,)).observe(0.1)
+        for line in reg.render().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+
+    def test_render_prometheus_merges_extra_collectors(self):
+        def extra():
+            yield ("adhoc_gauge", "gauge", "request-scoped", [({}, 1.0)])
+
+        text = render_prometheus(extra_collectors=[extra])
+        assert "# TYPE adhoc_gauge gauge" in text
+        assert "adhoc_gauge 1" in text
+        # The global registry's families render in the same scrape.
+        assert text.endswith("\n")
+
+
+class TestFlagsKillSwitch:
+    def test_disabled_metrics_drop_every_mutation(self, reg):
+        c = reg.counter("gated_total")
+        g = reg.gauge("gated")
+        h = reg.histogram("gated_seconds", buckets=(1.0,))
+        FLAGS.metrics = False
+        try:
+            c.inc()
+            g.set(5.0)
+            h.observe(0.5)
+        finally:
+            FLAGS.metrics = True
+        assert c.value() == 0.0
+        assert g.value() == 0.0
+        assert h.value()["count"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_no_increments(self, reg):
+        """8 writer threads x 2000 incs with 2 concurrent snapshot readers:
+        the final count must be exact (an unguarded += would lose updates)
+        and no reader may block or crash."""
+        c = reg.counter("stress_total", labelnames=("t",))
+        h = reg.histogram("stress_seconds", buckets=(0.5, 1.0))
+        writers, per_writer = 8, 2000
+        stop_reading = threading.Event()
+        reader_errors = []
+
+        def write(tid):
+            for _ in range(per_writer):
+                c.inc(t=str(tid % 2))
+                h.observe(0.25)
+
+        def read():
+            while not stop_reading.is_set():
+                try:
+                    snap = reg.snapshot()
+                    for family in snap.values():
+                        json.dumps(family)
+                    reg.render()
+                except Exception as err:  # pragma: no cover - failure path
+                    reader_errors.append(err)
+                    return
+
+        threads = [threading.Thread(target=write, args=(i,)) for i in range(writers)]
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for t in readers + threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop_reading.set()
+        for t in readers:
+            t.join()
+        assert not reader_errors
+        total = c.value(t="0") + c.value(t="1")
+        assert total == writers * per_writer
+        assert h.value()["count"] == writers * per_writer
+
+    def test_global_registry_families_exist(self):
+        """The instrumented modules register their families at import; the
+        global registry must render without error in any test order."""
+        text = global_registry.render()
+        assert isinstance(text, str) and text.endswith("\n")

@@ -1,0 +1,394 @@
+"""Observability through the serving stack: /metrics, trace ids, access log.
+
+End-to-end coverage for the observability integration of ISSUE 9:
+
+* ``GET /metrics`` serves valid Prometheus text carrying the process
+  registry, this server's :class:`ServingStats` and — behind a
+  :class:`WorkerPool` — the aggregated worker-side counters;
+* every ``/predict`` response echoes an ``X-Trace-Id`` header (the
+  client's when supplied), and the id propagates through the worker
+  pool back onto the response payload;
+* ``GET /stats`` **before any traffic** answers 200 with zero latency
+  percentiles (regression: ``np.percentile`` on an empty window used to
+  be a 500);
+* the opt-in structured access log emits one JSON line per request;
+* worker pools publish per-worker stats snapshots that aggregate into
+  ``/stats`` and ``/metrics``;
+* the cache-counter unification — one ``hits/misses/rebuilds/size``
+  shape for every operator cache, with the legacy accessor shimmed
+  behind a :class:`DeprecationWarning`.
+"""
+
+import io
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.obs import cache_info
+from repro.obs.caches import CACHE_STAT_KEYS
+from repro.serve import (
+    FeatureSchema,
+    InferenceEngine,
+    ModelArtifact,
+    ModelSpec,
+    PendingResult,
+    ServingStats,
+    WorkerPool,
+)
+from repro.serve.net import EngineBackend, serve_http
+from repro.serve.stats import aggregate_snapshots
+
+FEATURE_DIM, OUT_DIM = 4, 3
+SCHEMA = FeatureSchema(feature_dim=FEATURE_DIM, out_dim=OUT_DIM, task_type="multiclass", num_classes=OUT_DIM)
+
+SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
+
+
+def make_graph_payload(rng, nodes=8):
+    g = erdos_renyi(nodes, 0.5, rng)
+    x = rng.normal(size=(nodes, FEATURE_DIM))
+    return {"x": x.tolist(), "edge_index": g.edge_index.tolist()}
+
+
+def http(url, payload=None, headers=None, timeout=30.0):
+    """(status, response headers, parsed JSON body)."""
+    try:
+        if payload is None:
+            request = urllib.request.Request(url, headers=headers or {})
+        else:
+            request = urllib.request.Request(
+                url, data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json", **(headers or {})},
+            )
+        response = urllib.request.urlopen(request, timeout=timeout)
+        return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+def http_text(url, timeout=30.0):
+    """(status, content type, body text) — for the /metrics scrape."""
+    response = urllib.request.urlopen(url, timeout=timeout)
+    return response.status, response.headers.get("Content-Type"), response.read().decode()
+
+
+def assert_valid_prometheus(text):
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(91)
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    from repro.graph.data import GraphBatch
+
+    rng = np.random.default_rng(23)
+    spec = ModelSpec("gin", hidden_dim=8, num_layers=2)
+    models = [spec.build(SCHEMA) for _ in range(2)]
+    graphs = []
+    for _ in range(4):
+        g = erdos_renyi(int(rng.integers(5, 10)), 0.5, rng)
+        g.x = rng.normal(size=(g.num_nodes, FEATURE_DIM))
+        graphs.append(g)
+    for model in models:
+        model.train()
+        model(GraphBatch.from_graphs(graphs))
+        model.eval()
+    return ModelArtifact.from_models(models, spec, SCHEMA)
+
+
+OK = {"prediction": 1, "output": [0.0], "probs": [1.0], "energy": -2.0, "ood": False}
+
+
+class StubBackend:
+    """Legacy two-argument submit surface: no trace_id parameter."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.clock = time.monotonic
+        self.submitted = []
+
+    def submit(self, graph, deadline=None):
+        self.submitted.append((graph, deadline))
+        outcome = self.outcomes.pop(0)
+        handle = PendingResult()
+        if isinstance(outcome, dict):
+            handle._resolve(outcome)
+        else:
+            handle._resolve(None, outcome())
+        return handle
+
+    def stop(self):
+        pass
+
+
+@pytest.fixture
+def stub_server(request):
+    servers = []
+
+    def start(outcomes, **server_kwargs):
+        backend = StubBackend(outcomes)
+        server = serve_http(backend, schema=SCHEMA, **server_kwargs)
+        servers.append(server)
+        return backend, server
+
+    yield start
+    for server in servers:
+        server.draining = True
+        server.shutdown()
+        server.server_close()
+
+
+class TestStatsBeforeTraffic:
+    def test_stats_endpoint_is_200_with_zero_percentiles(self, stub_server):
+        """Regression: /stats before any request used to 500 inside
+        np.percentile on the empty latency window."""
+        _backend, server = stub_server([])
+        status, _headers, stats = http(server.url + "/stats")
+        assert status == 200
+        assert stats["latency_ms"]["window"] == 0
+        assert stats["latency_ms"]["p50"] == 0.0
+        assert stats["latency_ms"]["p99"] == 0.0
+        assert stats["counts"]["served"] == 0
+
+    def test_empty_stats_object_snapshots_clean(self):
+        snap = ServingStats(clock=lambda: 0.0).snapshot()
+        assert snap["latency_ms"] == {"window": 0, "p50": 0.0, "p99": 0.0}
+
+
+class TestTraceIdHeader:
+    def test_minted_trace_id_echoed(self, stub_server, rng):
+        _backend, server = stub_server([OK])
+        _status, headers, _body = http(server.url + "/predict", make_graph_payload(rng))
+        assert re.fullmatch(r"[0-9a-f]{16}", headers["X-Trace-Id"])
+
+    def test_client_supplied_trace_id_echoed_verbatim(self, stub_server, rng):
+        _backend, server = stub_server([OK])
+        _status, headers, _body = http(
+            server.url + "/predict", make_graph_payload(rng),
+            headers={"X-Trace-Id": "client-chose-this"},
+        )
+        assert headers["X-Trace-Id"] == "client-chose-this"
+
+    def test_error_responses_carry_the_header_too(self, stub_server):
+        _backend, server = stub_server([])
+        status, headers, _body = http(
+            server.url + "/predict", {"x": [[1.0, 2.0], [3.0]]},
+            headers={"X-Trace-Id": "badreq"},
+        )
+        assert status == 400 and headers["X-Trace-Id"] == "badreq"
+
+    def test_legacy_backend_without_trace_parameter_still_serves(self, stub_server, rng):
+        """The capability probe must route around StubBackend's two-argument
+        submit instead of TypeErroring on an unexpected keyword."""
+        backend, server = stub_server([OK])
+        status, _headers, body = http(server.url + "/predict", make_graph_payload(rng))
+        assert status == 200 and body["prediction"] == 1
+        assert len(backend.submitted) == 1
+        assert not server._submit_traces
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prometheus_with_serving_and_cache_families(self, stub_server, rng):
+        _backend, server = stub_server([OK])
+        http(server.url + "/predict", make_graph_payload(rng))
+        status, content_type, text = http_text(server.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert_valid_prometheus(text)
+        assert "# TYPE repro_serving_requests_total counter" in text
+        assert 'repro_serving_requests_total{outcome="served"} 1' in text
+        # The unified cache counters ride in the same scrape.
+        assert "# TYPE repro_cache_events_total counter" in text
+        for cache in ("message_pass", "scatter", "prep"):
+            assert f'cache="{cache}"' in text
+        assert "repro_serving_uptime_seconds" in text
+
+
+class TestAccessLog:
+    def test_one_json_line_per_request(self, stub_server, rng):
+        stream = io.StringIO()
+        _backend, server = stub_server(
+            [OK], access_log=True, access_log_stream=stream
+        )
+        http(server.url + "/predict", make_graph_payload(rng),
+             headers={"X-Trace-Id": "logged-request"})
+        request = urllib.request.Request(
+            server.url + "/predict", data=b"not json{",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(request, timeout=30.0)
+        # The handler logs *after* responding, so the client can observe
+        # the response a hair before the line lands; poll briefly.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+            if len(lines) == 2:
+                break
+            time.sleep(0.01)
+        assert len(lines) == 2
+        ok_line, bad_line = lines
+        assert ok_line["trace_id"] == "logged-request"
+        assert ok_line["status"] == 200
+        assert ok_line["latency_ms"] >= 0.0
+        assert ok_line["graphs"] == 1
+        assert ok_line["energy"] == pytest.approx(-2.0)
+        assert bad_line["status"] == 400 and bad_line["graphs"] == 0
+
+    def test_disabled_by_default(self, stub_server, rng, capsys):
+        _backend, server = stub_server([OK])
+        http(server.url + "/predict", make_graph_payload(rng))
+        assert server.access_log is False
+        assert capsys.readouterr().err == ""
+
+
+class TestAggregateSnapshots:
+    def test_counts_and_ood_totals_add(self):
+        a = ServingStats(clock=lambda: 0.0)
+        b = ServingStats(clock=lambda: 0.0)
+        for _ in range(3):
+            a.record_served(0.001, energy=-1.0, is_ood=False)
+        b.record_served(0.002, energy=2.0, is_ood=True)
+        b.record_expired()
+        agg = aggregate_snapshots([a.snapshot(), b.snapshot()])
+        assert agg["workers"] == 2
+        assert agg["counts"]["served"] == 4
+        assert agg["counts"]["expired"] == 1
+        assert agg["ood"] == {
+            "scored_total": 4, "flagged_total": 1, "lifetime_rate": 0.25,
+        }
+
+    def test_empty_is_all_zero(self):
+        agg = aggregate_snapshots([])
+        assert agg == {"workers": 0, "counts": {},
+                       "ood": {"scored_total": 0, "flagged_total": 0}}
+
+
+class TestWorkerPoolObservability:
+    def test_trace_id_rides_request_to_response_payload(self, artifact, rng):
+        graph_payload = make_graph_payload(rng)
+        from repro.serve import graph_from_json
+
+        graph = graph_from_json(graph_payload, schema=SCHEMA)
+        with WorkerPool(artifact, num_workers=1, flush_timeout=0.005) as pool:
+            handle = pool.submit(graph, trace_id="abc123def4567890")
+            assert handle.trace_id == "abc123def4567890"
+            result = handle.result(timeout=30.0)
+            plain = pool.submit(graph).result(timeout=30.0)
+        assert result["trace_id"] == "abc123def4567890"
+        assert "trace_id" not in plain  # untraced requests stay untouched
+
+    def test_worker_stats_aggregate_after_drain(self, artifact, rng):
+        from repro.serve import graph_from_json
+
+        graphs = [graph_from_json(make_graph_payload(rng, nodes=5 + i), schema=SCHEMA)
+                  for i in range(4)]
+        pool = WorkerPool(artifact, num_workers=2, flush_timeout=0.005).start()
+        try:
+            handles = [pool.submit(g) for g in graphs]
+            for handle in handles:
+                handle.result(timeout=30.0)
+        finally:
+            pool.stop()
+        # Workers publish a final snapshot before exiting; stop() joins
+        # them and then the stats collector, so this is deterministic.
+        snapshot = pool.stats_snapshot()
+        aggregate = snapshot["aggregate"]
+        assert aggregate["counts"]["served"] == 4
+        assert aggregate["counts"]["received"] == 4
+        assert aggregate["workers"] == len(snapshot["per_worker"]) >= 1
+        for worker_snap in snapshot["per_worker"].values():
+            assert worker_snap["counts"]["served"] >= 0
+
+    def test_collect_metrics_yields_pool_counters(self, artifact, rng):
+        from repro.serve import graph_from_json
+
+        graph = graph_from_json(make_graph_payload(rng), schema=SCHEMA)
+        pool = WorkerPool(artifact, num_workers=1, flush_timeout=0.005).start()
+        try:
+            pool.submit(graph).result(timeout=30.0)
+        finally:
+            pool.stop()
+        families = {name: (kind, samples) for name, kind, _help, samples
+                    in pool.collect_metrics()}
+        assert families["repro_pool_workers"][0] == "gauge"
+        outcomes = {labels["outcome"]: value
+                    for labels, value in families["repro_pool_requests_total"][1]}
+        assert outcomes["served"] == 1.0
+        ood = {labels["stat"]: value
+               for labels, value in families["repro_pool_ood_total"][1]}
+        assert set(ood) == {"scored", "flagged"}
+
+    def test_http_front_end_surfaces_worker_stats_and_metrics(self, artifact, rng):
+        pool = WorkerPool(artifact, num_workers=1, flush_timeout=0.005).start()
+        server = serve_http(pool, schema=SCHEMA)
+        try:
+            status, headers, body = http(
+                server.url + "/predict", make_graph_payload(rng),
+                headers={"X-Trace-Id": "pool-e2e-trace-id"}, timeout=60.0,
+            )
+            assert status == 200
+            assert headers["X-Trace-Id"] == "pool-e2e-trace-id"
+            # The worker stamped the propagated id onto the payload.
+            assert body["trace_id"] == "pool-e2e-trace-id"
+            # Worker snapshots arrive over the side queue; poll briefly.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                _status, _headers, stats = http(server.url + "/stats")
+                workers = stats.get("workers")
+                if workers and workers["aggregate"]["counts"].get("served", 0) >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("worker stats never aggregated into /stats")
+            assert workers["aggregate"]["counts"]["served"] == 1
+            _status, _ctype, text = http_text(server.url + "/metrics")
+            assert_valid_prometheus(text)
+            assert 'repro_pool_requests_total{outcome="served"} 1' in text
+            assert "# TYPE repro_pool_workers gauge" in text
+        finally:
+            server.drain()
+
+    def test_engine_backend_has_no_workers_key(self, rng):
+        from repro.encoders import build_model
+
+        model = build_model("gin", FEATURE_DIM, OUT_DIM, np.random.default_rng(3),
+                            hidden_dim=8, num_layers=2)
+        engine = InferenceEngine.from_models([model], SCHEMA, max_graphs=8,
+                                             flush_timeout=0.005)
+        server = serve_http(EngineBackend(engine, queue_depth=16), schema=SCHEMA)
+        try:
+            _status, _headers, stats = http(server.url + "/stats")
+            assert "workers" not in stats
+        finally:
+            server.drain()
+
+
+class TestCacheUnification:
+    def test_unified_shape_for_every_cache(self):
+        info = cache_info()
+        assert set(info) == {"message_pass", "scatter", "prep"}
+        for stats in info.values():
+            assert tuple(stats) == CACHE_STAT_KEYS
+            assert all(isinstance(v, int) and v >= 0 for v in stats.values())
+
+    def test_legacy_accessor_warns_and_matches(self):
+        from repro.graph import segment
+
+        with pytest.warns(DeprecationWarning, match="cache_info"):
+            legacy = segment.message_pass_cache_info()
+        assert legacy == cache_info()["message_pass"]

@@ -1,0 +1,192 @@
+"""Tracing spans: nesting, unwinding, trace ids, Chrome-trace export.
+
+Covers :mod:`repro.obs.trace`:
+
+* span nesting — child records its parent's span id and shares the
+  bound trace id;
+* **exception unwinding** — a raising span body never swallows the
+  exception, records an ``error`` field, and leaves the thread's span
+  stack consistent for the enclosing span;
+* :class:`trace_context` binding/restoring the thread-local trace id;
+* the disabled fast path — ``span()`` returns the shared no-op object
+  and records nothing;
+* ring-buffer capping and :func:`dump_trace`'s Chrome trace-event JSON
+  (``ph: "X"``, microsecond ``ts``/``dur``) loading back from disk.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_RING_SIZE,
+    clear_trace,
+    current_trace_id,
+    disable_tracing,
+    dump_trace,
+    enable_tracing,
+    new_trace_id,
+    span,
+    trace_context,
+    trace_events,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def traced():
+    """Tracing on + empty ring for the test, restored afterwards."""
+    was_enabled = tracing_enabled()
+    enable_tracing()
+    clear_trace()
+    yield
+    clear_trace()
+    if not was_enabled:
+        disable_tracing()
+
+
+def spans_by_name():
+    return {record["name"]: record for record in trace_events()}
+
+
+class TestSpanRecording:
+    def test_nested_spans_link_parent_and_share_trace(self, traced):
+        with span("outer", layer="test"):
+            with span("inner"):
+                pass
+        records = spans_by_name()
+        outer, inner = records["outer"], records["inner"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["trace_id"] == outer["trace_id"]
+        assert outer["args"] == {"layer": "test"}
+        # Inner completes first: the ring is in completion order.
+        assert [r["name"] for r in trace_events()] == ["inner", "outer"]
+
+    def test_durations_nest(self, traced):
+        with span("outer"):
+            with span("inner"):
+                pass
+        records = spans_by_name()
+        assert records["outer"]["duration_s"] >= records["inner"]["duration_s"] >= 0.0
+        assert records["outer"]["start_s"] <= records["inner"]["start_s"]
+
+    def test_set_attaches_mid_span_attributes(self, traced):
+        with span("batch") as s:
+            s.set(graphs=4, cache="hit")
+        record = trace_events()[-1]
+        assert record["args"] == {"graphs": 4, "cache": "hit"}
+
+    def test_exception_unwinds_and_is_recorded_not_swallowed(self, traced):
+        with pytest.raises(KeyError):
+            with span("outer"):
+                with span("failing"):
+                    raise KeyError("boom")
+        records = spans_by_name()
+        assert records["failing"]["error"] == "KeyError"
+        assert "error" in records["outer"]  # propagated through the outer exit
+        # The stack fully unwound: a fresh span is a root again.
+        with span("after"):
+            pass
+        assert spans_by_name()["after"]["parent_id"] is None
+
+    def test_ring_buffer_caps_memory(self, traced):
+        for i in range(TRACE_RING_SIZE + 50):
+            with span("tick", i=i):
+                pass
+        events = trace_events()
+        assert len(events) == TRACE_RING_SIZE
+        # Oldest fell off: the first surviving record is not i=0.
+        assert events[0]["args"]["i"] == 50
+
+    def test_spans_from_threads_record_their_tid(self, traced):
+        def work():
+            with span("threaded"):
+                pass
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        record = spans_by_name()["threaded"]
+        assert record["tid"] != threading.get_ident()
+
+
+class TestTraceIds:
+    def test_unbound_thread_has_no_trace_id(self):
+        assert current_trace_id() is None
+
+    def test_trace_context_binds_and_restores(self):
+        with trace_context("abc123"):
+            assert current_trace_id() == "abc123"
+            with trace_context("nested"):
+                assert current_trace_id() == "nested"
+            assert current_trace_id() == "abc123"
+        assert current_trace_id() is None
+
+    def test_trace_context_mints_when_unspecified(self):
+        with trace_context() as minted:
+            assert current_trace_id() == minted
+            assert len(minted) == 16
+
+    def test_new_trace_ids_are_unique(self):
+        ids = {new_trace_id() for _ in range(256)}
+        assert len(ids) == 256
+
+    def test_spans_inherit_bound_trace_id(self, traced):
+        with trace_context("deadbeefcafef00d"):
+            with span("request"):
+                pass
+        assert spans_by_name()["request"]["trace_id"] == "deadbeefcafef00d"
+
+    def test_root_span_mints_then_releases_a_trace_id(self, traced):
+        with span("root"):
+            minted = current_trace_id()
+            assert minted is not None
+        assert current_trace_id() is None
+        assert spans_by_name()["root"]["trace_id"] == minted
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_is_shared_noop_and_records_nothing(self):
+        disable_tracing()
+        clear_trace()
+        a, b = span("x", big="arg"), span("y")
+        assert a is b  # one shared object: zero allocation per call site
+        with a as s:
+            s.set(anything=1)
+        assert trace_events() == []
+
+
+class TestChromeExport:
+    def test_dump_trace_shape_and_file_round_trip(self, traced, tmp_path):
+        with trace_context("feedfacefeedface"):
+            with span("predict.pack", graphs=3):
+                with span("predict.forward", arr=object()):
+                    pass
+        path = tmp_path / "trace.json"
+        returned = dump_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(returned))
+        assert loaded["displayTimeUnit"] == "ms"
+        events = loaded["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            # The Chrome trace-event contract for complete events.
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid", "args"}
+            assert isinstance(event["ts"], float) and event["dur"] >= 0.0
+            assert event["cat"] == "predict"
+            assert event["args"]["trace_id"] == "feedfacefeedface"
+        forward = next(e for e in events if e["name"] == "predict.forward")
+        pack = next(e for e in events if e["name"] == "predict.pack")
+        assert forward["args"]["parent_span_id"] == pack["args"]["span_id"]
+        # Non-primitive span args were stringified for JSON safety.
+        assert isinstance(forward["args"]["arr"], str)
+
+    def test_error_span_exports_error_arg(self, traced, tmp_path):
+        with pytest.raises(RuntimeError):
+            with span("explodes"):
+                raise RuntimeError("no")
+        trace = dump_trace()
+        assert trace["traceEvents"][0]["args"]["error"] == "RuntimeError"

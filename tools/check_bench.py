@@ -20,6 +20,11 @@ Design constraints (why the gate is tolerance-based and shape-aware):
 * A fresh ratio may legitimately *exceed* the baseline; only regressions
   fail.  Metrics present in one file but not the other are reported but
   never fatal (benchmarks grow fields over time).
+* **Overhead ratios** (keys named ``*overhead_ratio*``) gate against an
+  absolute ceiling instead of the baseline: instrumentation overhead is
+  a budget, not a speedup — the observability bench's metrics-on/off
+  ratio must stay <= ``--overhead-max`` (default 1.02, i.e. < 2%)
+  regardless of what any previous run measured.
 
 Exit code 0 = within tolerance, 1 = regression, 2 = usage/IO error.
 """
@@ -44,7 +49,26 @@ def collect_speedups(payload, prefix: str = "") -> dict[str, float]:
     return found
 
 
-def compare(fresh: dict, baseline: dict, tolerance: float, tiny_tolerance: float):
+def collect_overheads(payload, prefix: str = "") -> dict[str, float]:
+    """Recursively gather ``{dotted.path: value}`` for overhead-ratio keys.
+
+    Only measurement keys qualify — budget/config keys (``overhead_max``
+    and friends) are not themselves gated.
+    """
+    found: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if (isinstance(value, (int, float)) and not isinstance(value, bool)
+                    and "overhead_ratio" in key):
+                found[path] = float(value)
+            else:
+                found.update(collect_overheads(value, path))
+    return found
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float, tiny_tolerance: float,
+            overhead_max: float = 1.02):
     """Return ``(regressions, notes)`` comparing fresh vs baseline ratios."""
     notes: list[str] = []
     regressions: list[str] = []
@@ -80,6 +104,16 @@ def compare(fresh: dict, baseline: dict, tolerance: float, tiny_tolerance: float
             )
     for path in sorted(set(fresh_ratios) - set(base_ratios)):
         notes.append(f"  {path}: new metric ({fresh_ratios[path]:.2f}x), no baseline")
+    # Overhead ratios gate against the absolute ceiling, baseline-free.
+    for path, value in sorted(collect_overheads(fresh).items()):
+        status = "OK" if value <= overhead_max else "OVER BUDGET"
+        notes.append(
+            f"  {path}: fresh {value:.4f}x vs ceiling {overhead_max:.2f}x {status}"
+        )
+        if value > overhead_max:
+            regressions.append(
+                f"{path}: overhead {value:.4f}x exceeds the {overhead_max:.2f}x ceiling"
+            )
     return regressions, notes
 
 
@@ -95,6 +129,10 @@ def main(argv=None) -> int:
         "--tiny-tolerance", type=float, default=0.25,
         help="required fraction when shapes differ, e.g. CI tiny runs (default 0.25)",
     )
+    parser.add_argument(
+        "--overhead-max", type=float, default=1.02,
+        help="absolute ceiling for overhead-ratio metrics (default 1.02 = <2%%)",
+    )
     args = parser.parse_args(argv)
     try:
         with open(args.fresh) as fh:
@@ -104,7 +142,10 @@ def main(argv=None) -> int:
     except (OSError, json.JSONDecodeError) as err:
         print(f"check_bench: cannot read inputs: {err}", file=sys.stderr)
         return 2
-    regressions, notes = compare(fresh, baseline, args.tolerance, args.tiny_tolerance)
+    regressions, notes = compare(
+        fresh, baseline, args.tolerance, args.tiny_tolerance,
+        overhead_max=args.overhead_max,
+    )
     print(f"check_bench: {args.fresh} vs {args.baseline}")
     for line in notes:
         print(line)
