@@ -1,0 +1,381 @@
+"""Fault-tolerance benchmark: availability and recovery under injected chaos.
+
+Drives the shared-memory :class:`~repro.serve.pool.WorkerPool` directly
+(no HTTP — ``bench_serving.py`` owns the wire) with closed-loop client
+threads, then measures what the fault-tolerance machinery actually buys:
+
+* **baseline** — no faults armed.  Establishes the healthy availability
+  (must be 1.0) and the p50/p99 latency the chaos phases are judged
+  against.
+* **chaos** — ``worker_crash@batch=B`` armed via the pool's ``faults``
+  parameter: every worker deterministically ``os._exit``\\ s on its Bth
+  coalesced batch, mid-flight.  The supervisor respawns against the
+  existing shared weight segment and the pool re-enqueues the stranded
+  requests, so clients see latency, not errors.
+* **sigkill** — a killer thread SIGKILLs a live worker every
+  ``--kill-interval`` seconds from *outside* (no cooperation from the
+  worker), then polls the supervisor until the pool is back at full
+  strength; the per-kill recovery times aggregate into
+  ``recovery_p99_ms``.
+
+Every phase reports ``availability`` — the fraction of requests that
+resolved successfully within their deadline.  The CI gate
+(``tools/check_bench.py --availability-min``) holds every
+``availability`` key to an absolute **0.99 floor**: unlike throughput,
+availability is dimensionless and machine-independent, so tiny CI shapes
+must meet the same bar as the committed full-shape baseline.  Each phase
+also reports ``error_budget_used`` — the fraction of the 1% error budget
+the failures consumed (1.0 = at the floor, >1.0 = gate failure).
+
+Standalone (writes the committed ``BENCH_faults.json`` baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+    PYTHONPATH=src python benchmarks/bench_faults.py --requests 64 --crash-every 4
+"""
+
+import argparse
+import json
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+
+from repro.graph.data import GraphBatch
+from repro.graph.generators import erdos_renyi
+from repro.serve import FeatureSchema, ModelArtifact, ModelSpec, RespawnPolicy, WorkerPool
+
+NUM_NODES, EDGE_P = 64, 0.05
+FEATURE_DIM, HIDDEN_DIM, NUM_LAYERS, NUM_CLASSES = 8, 32, 2, 4
+NUM_REQUESTS, NUM_CLIENTS, NUM_WORKERS = 192, 6, 2
+CRASH_EVERY = 6           # chaos phase: every worker dies on its 6th batch
+KILL_INTERVAL_S = 0.5     # sigkill phase: one external SIGKILL per interval
+DEADLINE_S = 30.0         # generous: failures must be *errors*, not races
+AVAILABILITY_FLOOR = 0.99
+DTYPE = "float32"
+
+SCHEMA = FeatureSchema(
+    feature_dim=FEATURE_DIM, out_dim=NUM_CLASSES, task_type="multiclass",
+    metric="accuracy", num_classes=NUM_CLASSES, dataset="bench-faults",
+)
+
+#: Bench respawn policy: tiny backoff so recovery time measures the
+#: fork+attach cost, and ``fast_crash_window=0`` so the *scheduled*
+#: crashes of the chaos phase never read as a crash loop (abandoning a
+#: slot mid-bench would measure the abandonment path, not recovery).
+POLICY = RespawnPolicy(
+    backoff_base=0.02, backoff_max=0.1, fast_crash_window=0.0, jitter=0.25,
+)
+
+
+def make_artifact(nodes: int, seed: int = 0) -> ModelArtifact:
+    rng = np.random.default_rng(seed)
+    spec = ModelSpec("gin", hidden_dim=HIDDEN_DIM, num_layers=NUM_LAYERS)
+    model = spec.build(SCHEMA)
+    model.train()
+    model(GraphBatch.from_graphs(make_graphs(rng, 4, nodes)))
+    model.eval()
+    return ModelArtifact.from_models([model], spec, SCHEMA)
+
+
+def make_graphs(rng, count: int, nodes: int) -> list:
+    graphs = []
+    for _ in range(count):
+        g = erdos_renyi(nodes, EDGE_P, rng)
+        g.x = rng.normal(size=(g.num_nodes, FEATURE_DIM))
+        graphs.append(g)
+    return graphs
+
+
+def make_pool(artifact: ModelArtifact, *, faults: str | None, workers: int) -> WorkerPool:
+    return WorkerPool(
+        artifact, num_workers=workers, dtype=DTYPE,
+        flush_timeout=0.002, max_graphs=4, queue_depth=256,
+        retry_limit=4, retry_backoff=0.01,
+        respawn_policy=POLICY,
+        faults=faults if faults is not None else "",
+        faults_seed=0,
+    )
+
+
+def _percentiles_ms(latencies: list[float]) -> dict[str, float]:
+    if not latencies:
+        return {"p50_ms": float("nan"), "p99_ms": float("nan")}
+    arr = np.asarray(latencies) * 1e3
+    return {"p50_ms": float(np.percentile(arr, 50)), "p99_ms": float(np.percentile(arr, 99))}
+
+
+def closed_loop(pool: WorkerPool, graphs: list, clients: int, total: int,
+                deadline_s: float, until=None) -> dict:
+    """C closed-loop clients submitting straight into the pool.
+
+    Each failure is recorded by exception type so the JSON shows *how*
+    the error budget was spent (deadline vs shed vs pool-down).  With
+    ``until``, clients keep cycling past ``total`` until the predicate
+    holds — the sigkill phase uses it to guarantee the load outlives a
+    minimum number of scheduled kills, however fast the machine is.
+    """
+    counter = {"next": 0}
+    lock = threading.Lock()
+    latencies: list[float] = []
+    failures: dict[str, int] = {}
+
+    def run() -> None:
+        local_lat: list[float] = []
+        local_fail: dict[str, int] = {}
+        while True:
+            with lock:
+                i = counter["next"]
+                if i >= total and (until is None or until()):
+                    break
+                counter["next"] = i + 1
+            start = time.perf_counter()
+            try:
+                handle = pool.submit(
+                    graphs[i % len(graphs)], deadline=pool.clock() + deadline_s
+                )
+                handle.result(timeout=deadline_s + 30.0)
+            except Exception as err:  # noqa: BLE001 — every failure type is data here
+                name = type(err).__name__
+                local_fail[name] = local_fail.get(name, 0) + 1
+            else:
+                local_lat.append(time.perf_counter() - start)
+        with lock:
+            latencies.extend(local_lat)
+            for name, count in local_fail.items():
+                failures[name] = failures.get(name, 0) + count
+
+    threads = [threading.Thread(target=run) for _ in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    issued = counter["next"]
+    ok = len(latencies)
+    availability = ok / issued if issued else float("nan")
+    return {
+        "clients": clients,
+        "requests": issued,
+        "ok": ok,
+        "failures": failures,
+        "availability": availability,
+        "error_budget_used": (1.0 - availability) / (1.0 - AVAILABILITY_FLOOR),
+        "throughput_rps": issued / elapsed,
+        **_percentiles_ms(latencies),
+    }
+
+
+def pool_counters(pool: WorkerPool) -> dict:
+    snap = pool.stats_snapshot()
+    sup = snap.get("supervisor") or {}
+    return {
+        "restarts_total": sup.get("restarts_total", 0),
+        "retries_total": snap.get("retries_total", 0),
+        "live_workers": sup.get("live_workers", 0),
+        "abandoned_slots": sup.get("abandoned_slots", []),
+        "health": pool.health()["status"],
+    }
+
+
+def run_baseline(artifact, graphs, *, requests: int, clients: int, workers: int,
+                 deadline_s: float) -> dict:
+    pool = make_pool(artifact, faults=None, workers=workers).start()
+    try:
+        # Warm off the clock: worker spin-up, BLAS, scatter kernels.
+        pool.submit(graphs[0], deadline=pool.clock() + deadline_s).result(timeout=60.0)
+        run = closed_loop(pool, graphs, clients, requests, deadline_s)
+        run.update(pool_counters(pool))
+        return run
+    finally:
+        pool.stop()
+
+
+def run_chaos(artifact, graphs, *, requests: int, clients: int, workers: int,
+              crash_every: int, deadline_s: float) -> dict:
+    pool = make_pool(
+        artifact, faults=f"worker_crash@batch={crash_every}", workers=workers
+    ).start()
+    try:
+        pool.submit(graphs[0], deadline=pool.clock() + deadline_s).result(timeout=60.0)
+        run = closed_loop(pool, graphs, clients, requests, deadline_s)
+        run["crash_every_batches"] = crash_every
+        run.update(pool_counters(pool))
+        return run
+    finally:
+        pool.stop()
+
+
+def run_sigkill(artifact, graphs, *, requests: int, clients: int, workers: int,
+                kill_interval_s: float, deadline_s: float, min_kills: int = 3) -> dict:
+    """External kills on a fixed schedule + measured time back to full strength."""
+    pool = make_pool(artifact, faults=None, workers=workers).start()
+    stop = threading.Event()
+    kills = {"count": 0}
+    recovery_s: list[float] = []
+
+    def recovered(restarts_before: int) -> bool:
+        # ``live_workers`` alone lies right after SIGKILL (``is_alive``
+        # still reports the dying pid until it is reaped), so recovery
+        # means: the supervisor *counted* the restart and the pool is
+        # back at full strength.
+        sup = pool.stats_snapshot().get("supervisor") or {}
+        return (sup.get("restarts_total", 0) > restarts_before
+                and sup.get("live_workers", 0) >= workers)
+
+    def killer() -> None:
+        while not stop.wait(kill_interval_s):
+            pids = pool.worker_pids()
+            if not pids:
+                continue
+            victim = pids[kills["count"] % len(pids)]
+            sup = pool.stats_snapshot().get("supervisor") or {}
+            restarts_before = sup.get("restarts_total", 0)
+            try:
+                os.kill(victim, signal.SIGKILL)
+            except OSError:
+                continue  # already gone (lost a race with its own exit)
+            kills["count"] += 1
+            killed_at = time.perf_counter()
+            while not recovered(restarts_before):
+                if stop.wait(0.002):
+                    return
+            recovery_s.append(time.perf_counter() - killed_at)
+
+    # Keep the load alive until every scheduled kill has been observed
+    # *and* recovered from, with a wall-clock escape hatch so a wedged
+    # respawn fails the availability gate instead of hanging the bench.
+    phase_deadline = time.perf_counter() + max(60.0, min_kills * kill_interval_s * 20)
+
+    def enough_kills() -> bool:
+        done = kills["count"] >= min_kills and len(recovery_s) >= min_kills
+        return done or time.perf_counter() >= phase_deadline
+
+    try:
+        pool.submit(graphs[0], deadline=pool.clock() + deadline_s).result(timeout=60.0)
+        thread = threading.Thread(target=killer, daemon=True)
+        thread.start()
+        run = closed_loop(pool, graphs, clients, requests, deadline_s, until=enough_kills)
+        stop.set()
+        thread.join(timeout=10.0)
+        run["kills"] = kills["count"]
+        run["kill_interval_s"] = kill_interval_s
+        recovery = _percentiles_ms(recovery_s)
+        run["recovery_p50_ms"] = recovery["p50_ms"]
+        run["recovery_p99_ms"] = recovery["p99_ms"]
+        run.update(pool_counters(pool))
+        return run
+    finally:
+        stop.set()
+        pool.stop()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=NUM_NODES, help="nodes per request graph")
+    parser.add_argument("--requests", type=int, default=NUM_REQUESTS, help="requests per phase")
+    parser.add_argument("--clients", type=int, default=NUM_CLIENTS, help="closed-loop clients")
+    parser.add_argument("--workers", type=int, default=NUM_WORKERS, help="pool worker processes")
+    parser.add_argument(
+        "--crash-every", type=int, default=CRASH_EVERY,
+        help="chaos phase: each worker crashes on every Nth coalesced batch",
+    )
+    parser.add_argument(
+        "--kill-interval", type=float, default=KILL_INTERVAL_S,
+        help="sigkill phase: seconds between external SIGKILLs",
+    )
+    parser.add_argument(
+        "--min-kills", type=int, default=3,
+        help="sigkill phase: load keeps cycling until this many kills recovered",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=DEADLINE_S * 1e3,
+        help="per-request deadline (generous by design: see module docstring)",
+    )
+    parser.add_argument(
+        "--json",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_faults.json"),
+        help="machine-readable output path (default: benchmarks/BENCH_faults.json)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    deadline_s = args.deadline_ms / 1e3
+    cpu_count = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    artifact = make_artifact(args.nodes)
+    rng = np.random.default_rng(1)
+    graphs = make_graphs(rng, min(32, args.requests), args.nodes)
+
+    common = dict(
+        requests=args.requests, clients=args.clients, workers=args.workers,
+        deadline_s=deadline_s,
+    )
+    phases = {
+        "baseline": run_baseline(artifact, graphs, **common),
+        "chaos": run_chaos(artifact, graphs, crash_every=args.crash_every, **common),
+        "sigkill": run_sigkill(
+            artifact, graphs, kill_interval_s=args.kill_interval,
+            min_kills=args.min_kills, **common,
+        ),
+    }
+
+    print(
+        f"faults bench: GIN hidden_dim={HIDDEN_DIM}, {NUM_LAYERS} layers, "
+        f"{args.nodes}-node graphs, {args.workers} workers, {args.clients} clients, "
+        f"{cpu_count} cpu(s)"
+    )
+    for name, run in phases.items():
+        extras = []
+        if "restarts_total" in run:
+            extras.append(f"restarts {run['restarts_total']}")
+        if "retries_total" in run:
+            extras.append(f"retries {run['retries_total']}")
+        if "recovery_p99_ms" in run:
+            extras.append(f"recovery p99 {run['recovery_p99_ms']:.1f} ms")
+        print(
+            f"  {name:>8}: availability {run['availability']:.4f} "
+            f"({run['ok']}/{run['requests']})    p99 {run['p99_ms']:7.2f} ms    "
+            f"{'    '.join(extras)}"
+        )
+        if run["failures"]:
+            print(f"           failures: {run['failures']}")
+
+    worst = min(run["availability"] for run in phases.values())
+    print(
+        f"  worst-phase availability {worst:.4f} vs {AVAILABILITY_FLOOR} floor: "
+        f"{'OK' if worst >= AVAILABILITY_FLOOR else 'BELOW FLOOR'}"
+    )
+
+    payload = {
+        "benchmark": "faults",
+        "shape": {
+            "nodes": args.nodes,
+            "edge_p": EDGE_P,
+            "hidden_dim": HIDDEN_DIM,
+            "num_layers": NUM_LAYERS,
+            "requests": args.requests,
+            "clients": args.clients,
+            "workers": args.workers,
+            "crash_every": args.crash_every,
+            "kill_interval_s": args.kill_interval,
+            "deadline_ms": args.deadline_ms,
+            "dtype": DTYPE,
+        },
+        "cpu_count": cpu_count,
+        "availability_floor": AVAILABILITY_FLOOR,
+        "phases": phases,
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

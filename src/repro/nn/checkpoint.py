@@ -23,6 +23,7 @@ load transparently; :func:`load_state` reports them as version 1.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -110,10 +111,24 @@ def save_state(
         payload[_BUFFER_PREFIX + name] = np.asarray(value)
     payload[_META_KEY] = np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8)
     path = _normalise_path(path)
-    # Write through an explicit handle so np.savez cannot append a second
-    # suffix (save_checkpoint("m.npz") used to risk writing m.npz.npz).
-    with open(path, "wb") as fh:
-        np.savez(fh, **payload)
+    # Atomic publish: write to a temp file in the *target* directory
+    # (os.replace must not cross filesystems), fsync, then rename over
+    # the destination — a crash mid-export leaves either the previous
+    # archive or nothing, never a torn npz.  The explicit handle also
+    # keeps np.savez from appending a second suffix (save_checkpoint
+    # ("m.npz") used to risk writing m.npz.npz).
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.unlink(tmp)  # only survives if the replace never happened
+        except FileNotFoundError:
+            pass
     return path
 
 

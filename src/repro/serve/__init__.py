@@ -8,10 +8,14 @@ The deployment layer on top of everything below it (see
 * :class:`InferenceEngine` — micro-batched, seed-ensembled, tape-free
   request serving with energy-based OOD scores per response.
 * :class:`WorkerPool` (:mod:`repro.serve.pool`) — multi-process serving
-  over one shared-memory weight bank (zero-copy weights per worker).
+  over one shared-memory weight bank (zero-copy weights per worker),
+  supervised: dead workers respawn (:mod:`repro.serve.supervisor`) and
+  the requests they held are retried within their deadlines.
 * :mod:`repro.serve.net` — stdlib HTTP front-end with admission control
-  (429), per-request deadlines (504), ``/stats`` telemetry and
-  drain-on-SIGTERM.
+  (429), per-request deadlines (504), a circuit breaker (503 +
+  ``Retry-After``), ``/stats`` telemetry and drain-on-SIGTERM.
+* :mod:`repro.serve.faults` — deterministic fault injection
+  (``REPRO_FAULTS`` / ``--faults``) for chaos testing the above.
 * ``python -m repro.serve`` — load an artifact and serve a JSON request
   file, a JSON-lines stdin stream, or HTTP traffic (``--http``).
 
@@ -26,13 +30,22 @@ Quickstart::
 from repro.serve.artifact import ARTIFACT_FORMAT_VERSION, FeatureSchema, ModelSpec, ModelArtifact
 from repro.serve.batcher import BatchBudget, MicroBatcher, plan_microbatches
 from repro.serve.engine import InferenceEngine, Prediction
+from repro.serve.faults import FAULTS, FaultInjector, configure_faults, injected_faults, parse_faults
 from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult, QueueFull
 from repro.serve.ood import EnergyCalibration, energy_score, fit_energy_threshold
 from repro.serve.pool import SharedWeights, WorkerPool
 from repro.serve.stats import ServingStats
+from repro.serve.supervisor import RespawnPolicy, WorkerSupervisor
 from repro.serve.wire import graph_from_json, result_to_json
 
 __all__ = [
+    "FAULTS",
+    "FaultInjector",
+    "RespawnPolicy",
+    "WorkerSupervisor",
+    "configure_faults",
+    "injected_faults",
+    "parse_faults",
     "ARTIFACT_FORMAT_VERSION",
     "FeatureSchema",
     "ModelSpec",

@@ -104,6 +104,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="--http: log one structured JSON line per request to stderr "
         "(trace id, status, latency, energy score)",
     )
+    parser.add_argument(
+        "--retry-limit", type=int, default=2,
+        help="--http --workers K: times a request stranded by a worker death "
+        "is re-enqueued (within its deadline) before failing (default 2)",
+    )
+    parser.add_argument(
+        "--faults",
+        help="chaos mode: deterministic fault spec, e.g. "
+        "'worker_crash@batch=3;slow_batch@p=0.1,ms=50;queue_reject@p=0.05' "
+        "(also honoured from the REPRO_FAULTS env var)",
+    )
+    parser.add_argument(
+        "--faults-seed", type=int, default=0,
+        help="seed for probabilistic fault draws (default 0; "
+        "REPRO_FAULTS_SEED from the environment)",
+    )
     return parser
 
 
@@ -118,6 +134,12 @@ def _load_graphs(path: str) -> list:
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.faults:
+        # Arms the in-process injection points (admission, engine loop);
+        # the worker pool forwards the same spec/seed to its workers.
+        from repro.serve.faults import configure_faults
+
+        configure_faults(args.faults, seed=args.faults_seed)
     artifact = ModelArtifact.load(args.artifact)
     if args.max_nodes is None:
         max_nodes = "auto"
@@ -216,6 +238,7 @@ def _serve_http(args, artifact, engine, max_nodes, stop: threading.Event | None 
             queue_depth=args.queue_depth,
             temperature=args.temperature,
             calibration=engine.calibration,
+            retry_limit=args.retry_limit,
         ).start()
     else:
         backend = EngineBackend(engine, queue_depth=args.queue_depth or 256)

@@ -295,7 +295,12 @@ class ModelArtifact:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path):
-        """Write the bundle to ``path`` (one ``.npz``); returns the path written."""
+        """Write the bundle to ``path`` (one ``.npz``); returns the path written.
+
+        The write is atomic (temp file + fsync + ``os.replace`` via
+        :func:`repro.nn.checkpoint.save_state`): a crash mid-export
+        leaves the previous artifact or nothing, never a torn file.
+        """
         names = list(self.states[0])
         stacked_state = {n: np.stack([s[n] for s in self.states]) for n in names}
         buffer_names = list(self.buffers[0])

@@ -42,6 +42,7 @@ from repro.serve.artifact import FeatureSchema, ModelArtifact
 from repro.serve.batcher import BatchBudget, MicroBatcher, default_max_nodes, plan_microbatches
 from repro.obs.registry import FLAGS, LATENCY_MS_BUCKETS, registry
 from repro.obs.trace import current_trace_id, span
+from repro.serve.faults import FAULTS
 from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult
 from repro.serve.ood import EnergyCalibration, energy_score, fit_energy_threshold
 
@@ -443,6 +444,19 @@ class InferenceEngine:
             self._queue.put((graph, pending, deadline))
         return pending
 
+    def restart(self) -> "InferenceEngine":
+        """Stop (flushing anything pending) and start a fresh serve loop.
+
+        The recovery verb for "engine serve loop died; restart the
+        engine": a loop killed by an unexpected error leaves ``submit``
+        failing fast, and ``restart()`` brings the queue front-end back
+        over the *same* models — no artifact reload, no re-calibration.
+        Also valid on a healthy or never-started engine (it is then just
+        a stop/start cycle).
+        """
+        self.stop()
+        return self.start()
+
     def stop(self) -> None:
         """Flush pending requests and join the worker thread.
 
@@ -505,6 +519,10 @@ class InferenceEngine:
                     _QUEUE_WAIT_MS.observe((now - pending.enqueued_at) * 1000.0)
                 if deadline is not None:
                     _DEADLINE_SLACK_MS.observe((deadline - now) * 1000.0)
+        if FAULTS.enabled:
+            stall = FAULTS.slow_batch_s()
+            if stall > 0.0:
+                time.sleep(stall)
         graphs = [graph for graph, _pending, _deadline in live]
         try:
             with _batch_span(live):

@@ -1,0 +1,232 @@
+"""Deterministic, seedable fault injection for the serving stack.
+
+Fault tolerance you cannot test is folklore.  This module is the test
+substrate for the supervisor/retry machinery and the chaos mode behind
+``benchmarks/bench_faults.py``: a tiny registry of *parameterised* faults
+that can be dialed in from the environment, the CLI, or code, and that
+fire **deterministically** for a given spec + seed so recovery behaviour
+is assertable, not anecdotal.
+
+Grammar (``REPRO_FAULTS`` env var, ``--faults`` CLI flag, or
+:func:`configure_faults`)::
+
+    worker_crash@batch=3;slow_batch@p=0.1,ms=50;queue_reject@p=0.05
+
+``;`` separates fault clauses, ``@`` introduces ``key=value`` parameters
+(``,``-separated).  Known faults and their injection points:
+
+``worker_crash``
+    ``batch=N`` hard-exits the worker process (``os._exit``) on every
+    Nth coalesced batch; ``p=F`` crashes each batch with probability F.
+    Fires in the worker serve loop *after* the batch has been pulled off
+    the slot queue and *before* it is served — the exact window where
+    requests are stranded and the retry path must recover them.
+``slow_batch``
+    ``p=F`` delays a batch by ``ms`` milliseconds before the forward
+    (worker serve loop and in-process engine) — exercises deadline
+    expiry and breaker behaviour without killing anything.
+``queue_reject``
+    ``p=F`` sheds a submission at the admission path with
+    :class:`~repro.serve.futures.QueueFull` (HTTP 429) as if the
+    inflight queue were full.
+
+Like :class:`repro.obs.registry.ObsFlags`, the global :data:`FAULTS`
+injector is **off by default** and every injection point is guarded by a
+branch-cheap ``if FAULTS.enabled:`` check, so the fault machinery costs
+one attribute load on the hot path when idle.  Determinism: counters are
+plain in-process counts and probabilistic draws come from
+``random.Random`` seeded from ``(seed, fault name)`` — never the global
+RNG — so two runs with the same spec, seed, and request order inject the
+same faults.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import zlib
+from contextlib import contextmanager
+
+__all__ = [
+    "FAULT_EXIT_CODE",
+    "FAULTS",
+    "FaultInjector",
+    "KNOWN_FAULTS",
+    "configure_faults",
+    "injected_faults",
+    "parse_faults",
+]
+
+#: Exit code used by the injected ``worker_crash`` fault, so tests and the
+#: supervisor can tell an injected crash from an organic one in logs.
+FAULT_EXIT_CODE = 86
+
+#: Fault name -> allowed parameter keys.
+KNOWN_FAULTS: dict[str, frozenset] = {
+    "worker_crash": frozenset({"batch", "p"}),
+    "slow_batch": frozenset({"p", "ms"}),
+    "queue_reject": frozenset({"p"}),
+}
+
+
+def parse_faults(spec: str | None) -> dict[str, dict[str, float]]:
+    """Parse a fault spec string into ``{fault_name: {param: value}}``.
+
+    Raises :class:`ValueError` with a message naming the offending clause
+    for unknown faults, unknown parameters, or non-numeric values — a bad
+    ``REPRO_FAULTS`` should fail loudly at startup, not silently no-op.
+    """
+    plan: dict[str, dict[str, float]] = {}
+    if spec is None or not spec.strip():
+        return plan
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        name, _at, param_str = clause.partition("@")
+        name = name.strip()
+        if name not in KNOWN_FAULTS:
+            raise ValueError(
+                f"unknown fault {name!r} in {clause!r}; known faults: "
+                f"{', '.join(sorted(KNOWN_FAULTS))}"
+            )
+        params: dict[str, float] = {}
+        for pair in filter(None, (p.strip() for p in param_str.split(","))):
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq:
+                raise ValueError(f"fault parameter {pair!r} in {clause!r} is not key=value")
+            if key not in KNOWN_FAULTS[name]:
+                raise ValueError(
+                    f"unknown parameter {key!r} for fault {name!r}; allowed: "
+                    f"{', '.join(sorted(KNOWN_FAULTS[name]))}"
+                )
+            try:
+                params[key] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"fault parameter {key!r} in {clause!r} needs a numeric value, got {value!r}"
+                ) from None
+        if name == "worker_crash" and not params:
+            raise ValueError("worker_crash needs batch=N or p=F")
+        if "p" in params and not 0.0 <= params["p"] <= 1.0:
+            raise ValueError(f"fault {name!r}: p must be in [0, 1], got {params['p']}")
+        if "batch" in params and params["batch"] < 1:
+            raise ValueError(f"fault {name!r}: batch must be >= 1, got {params['batch']}")
+        plan[name] = params
+    return plan
+
+
+def _format_plan(plan: dict[str, dict[str, float]]) -> str:
+    """Canonical spec string for a parsed plan (round-trips through parse)."""
+    clauses = []
+    for name in sorted(plan):
+        params = plan[name]
+        if params:
+            body = ",".join(f"{k}={params[k]:g}" for k in sorted(params))
+            clauses.append(f"{name}@{body}")
+        else:
+            clauses.append(name)
+    return ";".join(clauses)
+
+
+class FaultInjector:
+    """One process's fault state: parsed plan, seed, counters, per-fault RNGs.
+
+    Mutated in place via :meth:`configure` (like ``ObsFlags``) so every
+    module that imported :data:`FAULTS` sees updates.  Worker processes
+    receive their ``(spec, seed)`` explicitly from the pool parent and
+    configure their process-local copy at startup — per-slot seeds keep
+    sibling workers from injecting in lockstep while staying
+    reproducible.
+    """
+
+    __slots__ = ("enabled", "plan", "seed", "_lock", "_batches", "_rngs")
+
+    def __init__(self, spec: str | dict | None = None, seed: int = 0):
+        self.configure(spec, seed)
+
+    def configure(self, spec: str | dict | None = None, seed: int = 0) -> "FaultInjector":
+        """(Re)arm with a spec string / parsed plan; ``None`` disarms."""
+        plan = parse_faults(spec) if isinstance(spec, str) or spec is None else dict(spec)
+        self.plan = plan
+        self.seed = int(seed)
+        self.enabled = bool(plan)
+        self._lock = threading.Lock()
+        self._batches = 0
+        # hash() is salted per process; crc32 keeps the per-fault streams
+        # identical across the parent and forked/spawned workers.
+        self._rngs = {
+            name: random.Random(self.seed ^ zlib.crc32(name.encode()))
+            for name in plan
+        }
+        return self
+
+    def describe(self) -> str:
+        """Canonical spec string (ships the plan across process boundaries)."""
+        return _format_plan(self.plan)
+
+    # ------------------------------------------------------------------
+    # Injection points (each returns cheaply when its fault is unarmed)
+    # ------------------------------------------------------------------
+    def worker_crash(self) -> bool:
+        """Advance the batch counter; True when this batch should crash."""
+        cfg = self.plan.get("worker_crash")
+        if cfg is None:
+            return False
+        with self._lock:
+            self._batches += 1
+            count = self._batches
+        every = cfg.get("batch")
+        if every is not None and count % int(every) == 0:
+            return True
+        p = cfg.get("p", 0.0)
+        return p > 0.0 and self._rngs["worker_crash"].random() < p
+
+    def slow_batch_s(self) -> float:
+        """Seconds to stall the next batch (0.0 = no injection)."""
+        cfg = self.plan.get("slow_batch")
+        if cfg is None:
+            return 0.0
+        p = cfg.get("p", 1.0)
+        if p < 1.0 and self._rngs["slow_batch"].random() >= p:
+            return 0.0
+        return cfg.get("ms", 0.0) / 1000.0
+
+    def queue_reject(self) -> bool:
+        """True when the admission path should shed this request."""
+        cfg = self.plan.get("queue_reject")
+        if cfg is None:
+            return False
+        p = cfg.get("p", 0.0)
+        return p > 0.0 and self._rngs["queue_reject"].random() < p
+
+
+def _env_seed() -> int:
+    raw = os.environ.get("REPRO_FAULTS_SEED", "0")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_FAULTS_SEED must be an integer, got {raw!r}") from None
+
+
+#: Process-global injector; armed from ``REPRO_FAULTS`` /
+#: ``REPRO_FAULTS_SEED`` at import, re-armed via :func:`configure_faults`.
+FAULTS = FaultInjector(os.environ.get("REPRO_FAULTS"), seed=_env_seed())
+
+
+def configure_faults(spec: str | dict | None, seed: int = 0) -> FaultInjector:
+    """Arm (or with ``None``, disarm) the global :data:`FAULTS` injector."""
+    return FAULTS.configure(spec, seed)
+
+
+@contextmanager
+def injected_faults(spec: str | dict | None, seed: int = 0):
+    """Scoped arming for tests: restores the previous plan on exit."""
+    previous = (dict(FAULTS.plan), FAULTS.seed)
+    FAULTS.configure(spec, seed)
+    try:
+        yield FAULTS
+    finally:
+        FAULTS.configure(*previous)

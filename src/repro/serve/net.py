@@ -18,10 +18,12 @@ CLI accepts::
 
     POST /predict   {"x": [[...], ...], "edge_index": [[s], [t]]}
                     or {"graphs": [...], "deadline_ms": 50}
-    GET  /stats     live counters, p50/p99 latency, rolling OOD rate
+    GET  /stats     live counters, p50/p99 latency, rolling OOD rate,
+                    breaker + supervisor state
     GET  /metrics   Prometheus text exposition (process registry +
                     this server's stats + aggregated worker counters)
-    GET  /healthz   {"status": "ok"} (503 once draining)
+    GET  /healthz   {"status": "ok"|"degraded"} (200; degraded carries a
+                    detail body) / 503 {"status": "unhealthy"|"draining"}
 
 Every ``/predict`` response carries an ``X-Trace-Id`` header — the
 client's, when it sent one, else freshly minted — and the id is
@@ -42,6 +44,22 @@ vocabulary of :mod:`repro.serve.futures`):
 500   anything else            engine-side failure
 ====  =======================  =========================================
 
+Two failure-control layers sit in front of the backend:
+
+* **Health** (``/healthz``): backends expose ``health() -> {"status":
+  "ok"|"degraded"|"unhealthy", "detail": ...}`` (the pool derives it
+  from its supervisor; :class:`EngineBackend` from the engine loop).
+  ``degraded`` — e.g. a worker slot lost to a crash loop — answers 200
+  with the detail in the body (the service still serves), ``unhealthy``
+  answers 503 so load balancers eject the instance.
+* **Circuit breaker** (:class:`CircuitBreaker`): when the recent
+  backend error rate (5xx-class outcomes) trips the threshold, the
+  server stops submitting and sheds new predicts with 503 +
+  ``Retry-After`` until the open window elapses; then a few *half-open*
+  probe requests are let through — one success closes the breaker, a
+  failure reopens it.  This converts a collapsing backend's pile-up
+  into fast, cheap rejections the client can back off on.
+
 Shutdown is a **drain**: SIGTERM (or :meth:`ServingServer.drain`) flips
 ``/healthz`` to 503 so load balancers stop routing here, rejects new
 predicts with 503, lets in-flight requests finish, then stops the
@@ -55,21 +73,122 @@ import json
 import sys
 import threading
 import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from socketserver import ThreadingMixIn
 
 from repro.obs.registry import render_prometheus
 from repro.obs.trace import new_trace_id, trace_context
+from repro.serve.faults import FAULTS
 from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult, QueueFull
 from repro.serve.stats import ServingStats
 from repro.serve.wire import graph_from_json, result_to_json
 
-__all__ = ["EngineBackend", "ServingServer", "serve_http"]
+__all__ = ["CircuitBreaker", "EngineBackend", "ServingServer", "serve_http"]
 
 #: Ceiling on how long a handler thread waits for a backend answer when
 #: the request carries no deadline (seconds).  Keeps a wedged backend
 #: from accumulating handler threads forever.
 DEFAULT_RESULT_TIMEOUT = 60.0
+
+
+class CircuitBreaker:
+    """Error-rate circuit breaker over the predict path (module docstring).
+
+    State machine: **closed** (serving; outcomes fold into a rolling
+    window of the last ``window`` backend attempts) → **open** when, with
+    at least ``min_requests`` outcomes observed, the error fraction
+    reaches ``error_threshold`` (every request sheds with 503 +
+    ``Retry-After`` for ``open_duration`` seconds) → **half-open**
+    (up to ``half_open_probes`` requests pass through; the first success
+    closes the breaker, any failure reopens it).
+
+    Only 5xx-class outcomes count as errors — 400s are the client's
+    fault and 429s are admission control doing its job; neither says the
+    backend is failing.  Thread-safe; ``clock`` is injectable so tests
+    drive the open window deterministically.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, *, window: int = 64, min_requests: int = 16,
+                 error_threshold: float = 0.5, open_duration: float = 5.0,
+                 half_open_probes: int = 3, clock=time.monotonic):
+        if not 0.0 < error_threshold <= 1.0:
+            raise ValueError(f"error_threshold must be in (0, 1], got {error_threshold}")
+        if min_requests < 1:
+            raise ValueError(f"min_requests must be >= 1, got {min_requests}")
+        self.window = int(window)
+        self.min_requests = int(min_requests)
+        self.error_threshold = float(error_threshold)
+        self.open_duration = float(open_duration)
+        self.half_open_probes = int(half_open_probes)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: deque = deque(maxlen=self.window)
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probes_left = 0
+        self.opens_total = 0
+        self.shed_total = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> tuple[bool, float | None]:
+        """``(admit, retry_after_seconds)`` for one incoming request."""
+        with self._lock:
+            if self._state == self.OPEN:
+                elapsed = self.clock() - self._opened_at
+                if elapsed < self.open_duration:
+                    self.shed_total += 1
+                    return False, max(self.open_duration - elapsed, 0.0)
+                self._state = self.HALF_OPEN
+                self._probes_left = self.half_open_probes
+            if self._state == self.HALF_OPEN:
+                if self._probes_left > 0:
+                    self._probes_left -= 1
+                    return True, None
+                self.shed_total += 1
+                return False, 1.0  # probes already in flight; retry shortly
+            return True, None
+
+    def record(self, ok: bool) -> None:
+        """Fold one backend outcome in; may trip or close the breaker."""
+        with self._lock:
+            now = self.clock()
+            if self._state == self.HALF_OPEN:
+                if ok:
+                    self._state = self.CLOSED
+                    self._outcomes.clear()
+                else:
+                    self._state = self.OPEN
+                    self._opened_at = now
+                    self.opens_total += 1
+                return
+            if self._state == self.OPEN:
+                return  # stragglers admitted before the trip
+            self._outcomes.append(0 if ok else 1)
+            if not ok and len(self._outcomes) >= self.min_requests:
+                if sum(self._outcomes) / len(self._outcomes) >= self.error_threshold:
+                    self._state = self.OPEN
+                    self._opened_at = now
+                    self.opens_total += 1
+                    self._outcomes.clear()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "opens_total": self.opens_total,
+                "shed_total": self.shed_total,
+                "window_errors": sum(self._outcomes),
+                "window_size": len(self._outcomes),
+            }
 
 
 class EngineBackend:
@@ -95,6 +214,8 @@ class EngineBackend:
 
     def submit(self, graph, deadline: float | None = None,
                trace_id: str | None = None) -> PendingResult:
+        if FAULTS.enabled and FAULTS.queue_reject():
+            raise QueueFull("fault injection: queue_reject shed this request")
         with self._lock:
             if self._inflight >= self.queue_depth:
                 raise QueueFull(
@@ -113,6 +234,17 @@ class EngineBackend:
     def _release(self, _handle) -> None:
         with self._lock:
             self._inflight -= 1
+
+    def health(self) -> dict:
+        """Engine-loop liveness for ``/healthz`` (ok / unhealthy)."""
+        if self.engine._loop_error is not None:
+            return {
+                "status": "unhealthy",
+                "detail": "engine serve loop died; restart the engine",
+            }
+        if self.engine._worker is None:
+            return {"status": "unhealthy", "detail": "engine is not started"}
+        return {"status": "ok"}
 
     def stop(self) -> None:
         self.engine.stop()
@@ -168,6 +300,9 @@ class _Handler(BaseHTTPRequestHandler):
             workers = self.server._worker_stats()
             if workers is not None:
                 payload["workers"] = workers
+            if self.server.breaker is not None:
+                payload["breaker"] = self.server.breaker.snapshot()
+            payload["health"] = self.server.backend_health()
             self._respond(200, payload)
         elif self.path == "/metrics":
             text = render_prometheus(extra_collectors=self.server.metrics_collectors())
@@ -176,7 +311,9 @@ class _Handler(BaseHTTPRequestHandler):
             if self.server.draining:
                 self._respond(503, {"status": "draining"})
             else:
-                self._respond(200, {"status": "ok"})
+                health = self.server.backend_health()
+                code = 503 if health.get("status") == "unhealthy" else 200
+                self._respond(code, health)
         else:
             self._respond(404, {"error": f"no such endpoint: {self.path}"})
 
@@ -195,6 +332,18 @@ class _Handler(BaseHTTPRequestHandler):
         if server.draining:
             self._respond(503, {"error": "server is draining"}, headers)
             return
+        breaker = server.breaker
+        if breaker is not None:
+            allowed, retry_after = breaker.allow()
+            if not allowed:
+                headers["Retry-After"] = str(max(1, round(retry_after or 1.0)))
+                self._respond(
+                    503,
+                    {"error": "circuit breaker open: recent backend errors; retry later"},
+                    headers,
+                )
+                server._access_log(trace_id, 503, started, graphs=0)
+                return
         try:
             length = int(self.headers.get("Content-Length", 0))
             request = json.loads(self.rfile.read(length))
@@ -284,6 +433,7 @@ class _Handler(BaseHTTPRequestHandler):
             stats.record_served(
                 clock() - started, energy=payload.get("energy"), is_ood=payload.get("ood")
             )
+            self.server._breaker_record(200)
             results[pos] = payload
         return results, status_out
 
@@ -297,6 +447,7 @@ class _Handler(BaseHTTPRequestHandler):
             stats.record_expired()
         else:
             stats.record_error()
+        self.server._breaker_record(status)
 
 
 class ServingServer(ThreadingMixIn, HTTPServer):
@@ -313,6 +464,7 @@ class ServingServer(ThreadingMixIn, HTTPServer):
         result_timeout: float = DEFAULT_RESULT_TIMEOUT,
         access_log: bool = False,
         access_log_stream=None,
+        breaker: "CircuitBreaker | None | str" = "default",
     ):
         super().__init__(address, _Handler)
         self.backend = backend
@@ -325,11 +477,52 @@ class ServingServer(ThreadingMixIn, HTTPServer):
         self.draining = False
         self.access_log = access_log
         self.access_log_stream = access_log_stream
+        # "default" builds a breaker on the backend's clock (so tests with
+        # a fake clock drive the open window); None disables shedding.
+        if breaker == "default":
+            breaker = CircuitBreaker(clock=backend.clock)
+        self.breaker = breaker
         # Capability probes, taken once: older/stub backends keep the
         # plain ``submit(graph, deadline)`` surface and get no trace ids.
         self._submit_traces = "trace_id" in inspect.signature(backend.submit).parameters
 
     # ------------------------------------------------------------------
+    def backend_health(self) -> dict:
+        """The backend's health report; backends without one are ``ok``."""
+        probe = getattr(self.backend, "health", None)
+        if not callable(probe):
+            return {"status": "ok"}
+        try:
+            return probe()
+        except Exception as err:  # a broken probe is itself a bad sign
+            return {"status": "unhealthy", "detail": f"health probe failed: {err}"}
+
+    def _breaker_record(self, status: int) -> None:
+        """Fold one predict outcome into the breaker (5xx = backend error)."""
+        if self.breaker is None:
+            return
+        if status >= 500:
+            self.breaker.record(ok=False)
+        elif status == 200:
+            self.breaker.record(ok=True)
+        # 400 (client's fault) and 429 (admission doing its job) say
+        # nothing about backend health.
+
+    def _collect_breaker(self):
+        """Pull-time breaker metrics for the ``/metrics`` scrape."""
+        snap = self.breaker.snapshot()
+        state_code = {CircuitBreaker.CLOSED: 0.0, CircuitBreaker.HALF_OPEN: 1.0,
+                      CircuitBreaker.OPEN: 2.0}
+        yield ("repro_serving_breaker_state", "gauge",
+               "Circuit breaker state (0 closed / 1 half-open / 2 open)",
+               [({}, state_code.get(snap["state"], 2.0))])
+        yield ("repro_serving_breaker_opens_total", "counter",
+               "Times the circuit breaker tripped open",
+               [({}, float(snap["opens_total"]))])
+        yield ("repro_serving_breaker_shed_total", "counter",
+               "Requests shed while the breaker was open",
+               [({}, float(snap["shed_total"]))])
+
     def _submit_kwargs(self) -> dict:
         if not self._submit_traces:
             return {}
@@ -349,6 +542,8 @@ class ServingServer(ThreadingMixIn, HTTPServer):
         backend_collect = getattr(self.backend, "collect_metrics", None)
         if callable(backend_collect):
             collectors.append(backend_collect)
+        if self.breaker is not None:
+            collectors.append(self._collect_breaker)
         return collectors
 
     def _access_log(self, trace_id: str, status: int, started: float,
@@ -408,6 +603,7 @@ def serve_http(
     result_timeout: float = DEFAULT_RESULT_TIMEOUT,
     access_log: bool = False,
     access_log_stream=None,
+    breaker: "CircuitBreaker | None | str" = "default",
 ) -> ServingServer:
     """Build a :class:`ServingServer` and start its accept loop in a thread.
 
@@ -418,7 +614,7 @@ def serve_http(
     server = ServingServer(
         backend, schema=schema, address=(host, port), stats=stats,
         result_timeout=result_timeout, access_log=access_log,
-        access_log_stream=access_log_stream,
+        access_log_stream=access_log_stream, breaker=breaker,
     )
     thread = threading.Thread(target=server.serve_until_stopped, daemon=True)
     thread.start()

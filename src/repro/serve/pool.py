@@ -3,8 +3,8 @@
 The in-process :class:`~repro.serve.engine.InferenceEngine` is bounded by
 one interpreter: HTTP parsing, JSON, request packing and the Python halves
 of the forward all contend for a single GIL.  :class:`WorkerPool` runs K
-worker *processes*, each owning a full engine, behind one bounded request
-queue — and shares the model weights instead of duplicating them:
+worker *processes*, each owning a full engine, behind bounded admission —
+and shares the model weights instead of duplicating them:
 
 * :class:`SharedWeights` packs an artifact's stacked per-seed parameters
   and buffers into **one** :class:`multiprocessing.shared_memory`
@@ -16,16 +16,27 @@ queue — and shares the model weights instead of duplicating them:
   inside a zip archive and are decompressed on access, so ``mmap_mode``
   is silently ignored; a flat shared-memory bank is the layout that
   actually maps.)
-* Production semantics are first-class: the request queue is **bounded**
-  (admission control — a full queue raises
-  :class:`~repro.serve.futures.QueueFull`, HTTP 429), requests carry
-  absolute monotonic **deadlines** (expired ones are dropped with
+* Production semantics are first-class: admission is **bounded**
+  (``queue_depth`` outstanding requests — over it, :meth:`WorkerPool.submit`
+  raises :class:`~repro.serve.futures.QueueFull`, HTTP 429), requests
+  carry absolute monotonic **deadlines** (expired ones are dropped with
   :class:`~repro.serve.futures.DeadlineExceeded`, HTTP 504 — Linux's
   ``CLOCK_MONOTONIC`` is system-wide, so parent and worker clocks agree),
   ``stop()`` **drains**: it stops admission, lets workers flush what was
   queued, joins them, and fails anything left with
-  :class:`~repro.serve.futures.EngineStopped`.  A worker that dies
-  unexpectedly fails every outstanding handle instead of stranding it.
+  :class:`~repro.serve.futures.EngineStopped`.
+* Worker death is **survivable**, not terminal: a
+  :class:`~repro.serve.supervisor.WorkerSupervisor` notices a dead worker
+  via its sentinel pipe, respawns it against the *existing* shared
+  segment (no re-publish), and the requests the dead worker held are
+  transparently re-enqueued — at most ``retry_limit`` times, with
+  jittered backoff, always inside the remaining per-request deadline —
+  before anything surfaces to the client.  Each worker reads its **own**
+  request queue (the parent dispatches least-outstanding-first), so a
+  SIGKILL mid-``get`` can only poison the dead worker's queue, which is
+  discarded and replaced on respawn; exactly-once handle resolution is
+  preserved because a retried request gets a fresh id and stale
+  responses for the old id are dropped.
 
 Request/response payloads cross process boundaries as the JSON-ready
 dicts of :mod:`repro.serve.wire`, so the HTTP layer can hand them straight
@@ -37,17 +48,21 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue
+import random
 import threading
 import time
+import weakref
 
 import numpy as np
 
 from repro.obs.registry import FLAGS
 from repro.obs.trace import span
 from repro.serve.artifact import FeatureSchema, ModelArtifact, ModelSpec
+from repro.serve.faults import FAULT_EXIT_CODE, FAULTS
 from repro.serve.futures import DeadlineExceeded, EngineStopped, PendingResult, QueueFull
 from repro.serve.ood import EnergyCalibration
 from repro.serve.stats import ServingStats, aggregate_snapshots
+from repro.serve.supervisor import RespawnPolicy, WorkerSupervisor
 
 __all__ = ["SharedWeights", "WorkerPool", "process_memory"]
 
@@ -56,6 +71,12 @@ __all__ = ["SharedWeights", "WorkerPool", "process_memory"]
 STATS_PUBLISH_INTERVAL = 0.2
 
 _ALIGN = 64  # align every array in the bank (cache-line / SIMD friendly)
+
+#: Extra seconds past a request's deadline before the parent-side reaper
+#: fails it — normally the worker reports ``expired`` first; the reaper
+#: only catches requests stranded where no worker will ever see them
+#: (e.g. queued to a slot that died before pulling them).
+_REAP_GRACE = 0.25
 
 
 def _aligned(offset: int) -> int:
@@ -70,13 +91,21 @@ class SharedWeights:
     equivalent object whose :meth:`build_artifact` reconstructs a
     :class:`~repro.serve.artifact.ModelArtifact` over read-only views.
     The parent owns the segment: workers ``close()`` their mapping, the
-    parent ``close(unlink=True)`` destroys it at shutdown.
+    parent ``close(unlink=True)`` destroys it at shutdown — and a
+    finalizer registered at :meth:`publish` unlinks it even when the
+    publisher exits without ever calling ``close`` (an unhandled
+    exception, ``sys.exit``), so abnormal exits cannot leak ``/dev/shm``
+    segments until reboot.
     """
 
     def __init__(self, shm, manifest: dict, owner: bool):
         self._shm = shm
         self.manifest = manifest
         self._owner = owner
+        # The finalizer fires on garbage collection or interpreter
+        # shutdown, whichever comes first; close(unlink=True) invokes it
+        # explicitly (weakref.finalize is exactly-once).
+        self._finalizer = weakref.finalize(self, _unlink_segment, shm) if owner else None
 
     # ------------------------------------------------------------------
     # Parent side
@@ -121,7 +150,14 @@ class SharedWeights:
     # ------------------------------------------------------------------
     @classmethod
     def attach(cls, manifest: dict) -> "SharedWeights":
-        """Map the published segment in this process (no copy)."""
+        """Map the published segment in this process (no copy).
+
+        Raises a descriptive :class:`RuntimeError` (not a bare
+        :class:`FileNotFoundError`) when the segment no longer exists —
+        the publishing process exited or unlinked it — so a respawned
+        worker racing a pool shutdown dies with a diagnosis, not a
+        mystery path error.
+        """
         from multiprocessing import resource_tracker, shared_memory
 
         # CPython < 3.13 registers attached (not just created) segments
@@ -135,6 +171,12 @@ class SharedWeights:
         resource_tracker.register = lambda *_args, **_kwargs: None
         try:
             shm = shared_memory.SharedMemory(name=manifest["shm_name"])
+        except FileNotFoundError:
+            raise RuntimeError(
+                f"shared weight segment {manifest['shm_name']!r} is gone — the "
+                "publishing process exited or unlinked it; republish the "
+                "artifact with SharedWeights.publish before attaching"
+            ) from None
         finally:
             resource_tracker.register = original_register
         return cls(shm, manifest, owner=False)
@@ -188,6 +230,9 @@ class SharedWeights:
 
     def close(self, unlink: bool = False) -> None:
         """Unmap the segment; ``unlink=True`` (owner) destroys it."""
+        if unlink and self._owner and self._finalizer is not None:
+            self._finalizer()
+            return
         try:
             self._shm.close()
         finally:
@@ -196,6 +241,21 @@ class SharedWeights:
                     self._shm.unlink()
                 except FileNotFoundError:
                     pass
+
+
+def _unlink_segment(shm) -> None:
+    """Owner-side finalizer: unmap and destroy the segment, exactly once."""
+    try:
+        shm.close()
+    except BufferError:
+        # Numpy views into the bank are still alive (interpreter
+        # shutdown order is arbitrary); unlinking the name is what
+        # prevents the /dev/shm leak, so proceed regardless.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -260,8 +320,18 @@ def _publish_stats(stats_q, stats: ServingStats) -> None:
         pass
 
 
-def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q, stats_q) -> None:
+def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q,
+                 stats_q, faults_cfg=None) -> None:
     """Worker entry point: attach shared weights, serve until sentinel.
+
+    ``request_q`` is this worker's **private** slot queue — the parent
+    dispatches to it and puts exactly one ``None`` sentinel into it at
+    drain, so a sentinel seen mid-coalesce just flushes the batch and
+    exits (no sibling accounting needed).  ``faults_cfg`` is the
+    ``(spec, seed)`` the parent resolved for this slot; it re-arms the
+    process-local :data:`~repro.serve.faults.FAULTS` injector explicitly
+    so forked workers neither miss a configured chaos plan nor inherit
+    one the pool did not ask for.
 
     Each worker keeps a process-local :class:`ServingStats` sink and
     publishes its snapshot over ``stats_q`` — throttled to one message per
@@ -269,6 +339,8 @@ def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q, sta
     on exit — so the parent can aggregate worker-side counters into the
     front-end's ``/stats`` and ``/metrics`` views.
     """
+    if faults_cfg is not None:
+        FAULTS.configure(*faults_cfg)
     calibration = engine_kwargs.pop("calibration", None)
     shared = SharedWeights.attach(manifest)
     stats = ServingStats(clock=time.monotonic)
@@ -297,15 +369,19 @@ def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q, sta
                 except queue.Empty:
                     break
                 if nxt is None:
-                    # A sentinel mid-coalesce: flush what we have, then
-                    # exit.  Admission stops before sentinels are queued,
-                    # so no real request can follow one — and with K
-                    # sentinels for K workers, consuming exactly one each
-                    # (we break here, never pull a second) leaves one for
-                    # every sibling.
+                    # Sentinel mid-coalesce: flush what we have, then exit.
                     stopping = True
                     break
                 items.append(nxt)
+            if FAULTS.enabled:
+                stall = FAULTS.slow_batch_s()
+                if stall > 0.0:
+                    time.sleep(stall)
+                if FAULTS.worker_crash():
+                    # Hard exit between pulling a batch and serving it —
+                    # the exact window where requests are stranded and
+                    # the supervisor + retry path must recover them.
+                    os._exit(FAULT_EXIT_CODE)
             _serve_items(engine, items, response_q, time.monotonic, stats)
             now = time.monotonic()
             if now - last_publish >= STATS_PUBLISH_INTERVAL:
@@ -322,6 +398,33 @@ def _worker_main(manifest: dict, engine_kwargs: dict, request_q, response_q, sta
 # Parent-side pool
 # ----------------------------------------------------------------------
 
+class _Inflight:
+    """Parent-side record of one admitted request (handle + enough to retry it)."""
+
+    __slots__ = ("handle", "graph", "deadline", "trace_id", "enqueued", "retries", "slot")
+
+    def __init__(self, handle, graph, deadline, trace_id, enqueued):
+        self.handle = handle
+        self.graph = graph
+        self.deadline = deadline
+        self.trace_id = trace_id
+        self.enqueued = enqueued
+        self.retries = 0
+        self.slot = -1
+
+
+class _PoolSlot:
+    """Parent-side view of one worker slot: its private queue + dispatch count."""
+
+    __slots__ = ("index", "queue", "outstanding", "abandoned")
+
+    def __init__(self, index: int, q):
+        self.index = index
+        self.queue = q
+        self.outstanding = 0
+        self.abandoned = False
+
+
 class WorkerPool:
     """K serving processes over one shared weight bank (module docstring).
 
@@ -329,11 +432,22 @@ class WorkerPool:
     they configure the per-worker engines (``max_graphs`` / ``max_nodes``
     / ``flush_timeout`` / ``dtype`` / ``temperature`` / ``calibration``).
 
-    ``queue_depth`` bounds the inflight request queue — the admission
-    control knob: when full, :meth:`submit` raises
+    ``queue_depth`` bounds the outstanding-request count — the admission
+    control knob: over it, :meth:`submit` raises
     :class:`~repro.serve.futures.QueueFull` immediately instead of
     building an unbounded backlog of requests that will all miss their
     deadlines (default: ``4 * num_workers * max_graphs``).
+
+    Fault tolerance: ``retry_limit`` caps how many times a request
+    stranded by a worker death is re-enqueued (with jittered exponential
+    backoff starting at ``retry_backoff`` seconds, clipped to the
+    remaining deadline budget); ``respawn``/``respawn_policy`` configure
+    the :class:`~repro.serve.supervisor.WorkerSupervisor` that replaces
+    dead workers against the existing shared segment.  ``faults`` /
+    ``faults_seed`` pin the chaos plan workers arm at startup (default:
+    inherit the process-global :data:`~repro.serve.faults.FAULTS`, i.e.
+    ``REPRO_FAULTS``); each slot arms ``seed + slot_index`` so siblings
+    do not inject in lockstep.
 
     ``start_method`` picks the :mod:`multiprocessing` context
     (default ``"fork"`` where available — instant worker start; pass
@@ -354,12 +468,26 @@ class WorkerPool:
         calibration: EnergyCalibration | None = None,
         start_method: str | None = None,
         clock=time.monotonic,
+        retry_limit: int = 2,
+        retry_backoff: float = 0.05,
+        respawn: bool = True,
+        respawn_policy: RespawnPolicy | None = None,
+        faults: str | None = None,
+        faults_seed: int | None = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {retry_limit}")
         self.schema = artifact.schema
         self.num_workers = int(num_workers)
         self.clock = clock
+        self.retry_limit = int(retry_limit)
+        self.retry_backoff = float(retry_backoff)
+        self._respawn = bool(respawn)
+        self._policy = respawn_policy or RespawnPolicy()
+        self._faults_spec = faults if faults is not None else FAULTS.describe()
+        self._faults_seed = int(faults_seed) if faults_seed is not None else FAULTS.seed
         self._shared = SharedWeights.publish(artifact, dtype=dtype)
         self._engine_kwargs = {
             "max_graphs": max_graphs,
@@ -374,14 +502,22 @@ class WorkerPool:
         self.queue_depth = int(queue_depth) if queue_depth is not None else 4 * self.num_workers * max_graphs
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
-        self._request_q = self._ctx.Queue(maxsize=self.queue_depth)
+        # One private request queue per slot (created up front so tests
+        # can exercise admission without spawning workers): the parent is
+        # the only writer and the slot's worker the only reader, so a
+        # worker killed mid-``get`` can only poison its own queue — which
+        # is discarded and replaced when the supervisor respawns the slot.
+        self._slots = [_PoolSlot(i, self._ctx.Queue()) for i in range(self.num_workers)]
         self._response_q = self._ctx.Queue()
         self._stats_q = self._ctx.Queue()
         self._worker_snapshots: dict[int, dict] = {}
-        self._processes: list = []
+        self._supervisor: WorkerSupervisor | None = None
         self._dispatcher: threading.Thread | None = None
         self._stats_collector: threading.Thread | None = None
-        self._handles: dict[int, PendingResult] = {}
+        self._handles: dict[int, _Inflight] = {}
+        self._retry_timers: dict[threading.Timer, _Inflight] = {}
+        self._retry_rng = random.Random(self._faults_seed ^ 0x5EED)
+        self._retries_total = 0
         self._lock = threading.Lock()
         self._next_id = 0
         self._started = False
@@ -395,30 +531,49 @@ class WorkerPool:
         return self._shared.nbytes
 
     def worker_pids(self) -> list[int]:
-        return [p.pid for p in self._processes if p.pid is not None]
+        if self._supervisor is None:
+            return []
+        return self._supervisor.worker_pids()
+
+    def _spawn_worker(self, slot_index: int):
+        """Supervisor spawn factory: fork a worker on the slot's current queue."""
+        slot = self._slots[slot_index]
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._shared.manifest, dict(self._engine_kwargs), slot.queue,
+                  self._response_q, self._stats_q,
+                  (self._faults_spec, self._faults_seed + slot_index)),
+            daemon=True,
+        )
+        proc.start()
+        return proc
 
     def start(self) -> "WorkerPool":
-        """Spawn the workers and the response dispatcher."""
+        """Spawn the workers, the supervisor, and the response dispatcher."""
         if self._started:
             raise RuntimeError("pool already started")
         self._started = True
-        for _ in range(self.num_workers):
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(self._shared.manifest, dict(self._engine_kwargs), self._request_q,
-                      self._response_q, self._stats_q),
-                daemon=True,
-            )
-            proc.start()
-            self._processes.append(proc)
+        self._supervisor = WorkerSupervisor(
+            self._spawn_worker,
+            self.num_workers,
+            policy=self._policy,
+            respawn=self._respawn,
+            clock=self.clock,
+            on_death=self._on_worker_death,
+            on_abandon=self._on_slot_abandoned,
+            on_down=self._on_pool_down,
+        ).start()
         self._dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True)
         self._dispatcher.start()
         self._stats_collector = threading.Thread(target=self._stats_loop, daemon=True)
         self._stats_collector.start()
         return self
 
+    # ------------------------------------------------------------------
+    # Admission + dispatch
+    # ------------------------------------------------------------------
     def submit(self, graph, deadline: float | None = None, trace_id: str | None = None) -> PendingResult:
-        """Enqueue one request; full queue sheds with :class:`QueueFull`.
+        """Enqueue one request; full admission sheds with :class:`QueueFull`.
 
         Returns a :class:`~repro.serve.futures.PendingResult` whose
         ``result()`` is the JSON-ready response dict
@@ -428,50 +583,218 @@ class WorkerPool:
         a ``"trace_id"`` key on the response payload.
         """
         self.schema.validate_graph(graph)
+        if FAULTS.enabled and FAULTS.queue_reject():
+            raise QueueFull("fault injection: queue_reject shed this request")
         handle = PendingResult()
+        enqueued = self.clock()
+        handle.trace_id = trace_id
+        handle.enqueued_at = enqueued
+        rec = _Inflight(handle, graph, deadline, trace_id, enqueued)
         with self._lock:
             if self._closed or not self._started:
                 raise EngineStopped("worker pool is not serving")
             if self._failed is not None:
                 raise EngineStopped(self._failed)
-            req_id = self._next_id
-            self._next_id += 1
-            self._handles[req_id] = handle
-        enqueued = self.clock()
-        handle.trace_id = trace_id
-        handle.enqueued_at = enqueued
-        try:
-            self._request_q.put_nowait((req_id, graph, deadline, trace_id, enqueued))
-        except queue.Full:
-            with self._lock:
-                self._handles.pop(req_id, None)
-            raise QueueFull(
-                f"inflight queue at capacity ({self.queue_depth}); request shed"
-            ) from None
+            if len(self._handles) + len(self._retry_timers) >= self.queue_depth:
+                raise QueueFull(
+                    f"inflight queue at capacity ({self.queue_depth}); request shed"
+                )
+            req_id = self._enqueue_locked(rec)
+        self._put_request(req_id, rec)
         return handle
+
+    def _enqueue_locked(self, rec: _Inflight) -> int:
+        """Assign a fresh id + the least-loaded live slot; register the record."""
+        slot = min(
+            (s for s in self._slots if not s.abandoned),
+            key=lambda s: (s.outstanding, s.index),
+            default=None,
+        )
+        if slot is None:
+            raise EngineStopped(self._failed or "worker pool has no serviceable workers")
+        req_id = self._next_id
+        self._next_id += 1
+        rec.slot = slot.index
+        slot.outstanding += 1
+        self._handles[req_id] = rec
+        return req_id
+
+    def _put_request(self, req_id: int, rec: _Inflight) -> None:
+        """Ship an admitted record to its slot queue; failure resolves the handle."""
+        try:
+            self._slots[rec.slot].queue.put((req_id, rec.graph, rec.deadline,
+                                             rec.trace_id, rec.enqueued))
+        except (ValueError, OSError, AssertionError):
+            # The queue was closed under us (stop() racing submit).
+            with self._lock:
+                self._pop_rec_locked(req_id)
+            rec.handle._resolve(None, EngineStopped("worker pool is not serving"))
+
+    def _pop_rec_locked(self, req_id: int) -> _Inflight | None:
+        rec = self._handles.pop(req_id, None)
+        if rec is not None and 0 <= rec.slot < len(self._slots):
+            slot = self._slots[rec.slot]
+            slot.outstanding = max(0, slot.outstanding - 1)
+        return rec
 
     def _dispatch_loop(self) -> None:
         while True:
             try:
                 msg = self._response_q.get(timeout=0.2)
             except queue.Empty:
-                if self._watch_workers():
+                self._reap_expired()
+                if self._failed is not None:
                     return
                 continue
             if msg is None:
                 return
             req_id, status, payload = msg
             with self._lock:
-                handle = self._handles.pop(req_id, None)
-            if handle is None:
-                continue
+                rec = self._pop_rec_locked(req_id)
+            if rec is None:
+                continue  # reaped, retried under a new id, or already failed
             if status == "ok":
-                handle._resolve(payload)
+                rec.handle._resolve(payload)
             elif status == "expired":
-                handle._resolve(None, DeadlineExceeded("request expired before a worker served it"))
+                rec.handle._resolve(None, DeadlineExceeded("request expired before a worker served it"))
             else:
-                handle._resolve(None, RuntimeError(f"worker error: {payload}"))
+                rec.handle._resolve(None, RuntimeError(f"worker error: {payload}"))
 
+    def _reap_expired(self) -> None:
+        """Fail requests stranded past deadline where no worker will see them."""
+        now = self.clock()
+        with self._lock:
+            expired = [
+                req_id for req_id, rec in self._handles.items()
+                if rec.deadline is not None and now >= rec.deadline + _REAP_GRACE
+            ]
+            recs = [self._pop_rec_locked(req_id) for req_id in expired]
+        for rec in recs:
+            if rec is not None:
+                rec.handle._resolve(
+                    None, DeadlineExceeded("request expired before a worker served it")
+                )
+
+    # ------------------------------------------------------------------
+    # Worker-death recovery (supervisor callbacks, monitor thread)
+    # ------------------------------------------------------------------
+    def _on_worker_death(self, slot_index: int, pid: int, exitcode: int) -> None:
+        """A worker died: discard its (possibly poisoned) queue, retry its requests."""
+        old_q = self._slots[slot_index].queue
+        with self._lock:
+            # Replace the queue *before* recovering requests so concurrent
+            # submits dispatch into the fresh queue the respawned worker
+            # will actually read.
+            self._slots[slot_index].queue = self._ctx.Queue()
+        try:
+            old_q.close()
+            old_q.cancel_join_thread()
+        except Exception:
+            pass
+        cause = f"worker process (pid {pid}) died with exit code {exitcode}"
+        self._recover_slot_requests(slot_index, cause)
+
+    def _on_slot_abandoned(self, slot_index: int, reason: str) -> None:
+        """A slot was written off: stop dispatching to it, move its requests."""
+        with self._lock:
+            self._slots[slot_index].abandoned = True
+        self._recover_slot_requests(slot_index, reason)
+
+    def _recover_slot_requests(self, slot_index: int, cause: str) -> None:
+        with self._lock:
+            stranded = [
+                req_id for req_id, rec in self._handles.items()
+                if rec.slot == slot_index
+            ]
+            recs = [self._pop_rec_locked(req_id) for req_id in stranded]
+        for rec in recs:
+            if rec is not None:
+                self._retry_or_fail(rec, cause)
+
+    def _retry_or_fail(self, rec: _Inflight, cause: str) -> None:
+        """Re-enqueue a stranded request inside its budget, or surface the failure."""
+        now = self.clock()
+        if rec.deadline is not None and now >= rec.deadline:
+            rec.handle._resolve(
+                None,
+                DeadlineExceeded(f"deadline passed while recovering from: {cause}"),
+            )
+            return
+        if rec.retries >= self.retry_limit:
+            rec.handle._resolve(
+                None,
+                EngineStopped(f"{cause}; retry limit ({self.retry_limit}) exhausted"),
+            )
+            return
+        rec.retries += 1
+        delay = self._retry_delay(rec, now)
+        timer_box: list[threading.Timer] = []
+
+        def fire() -> None:
+            with self._lock:
+                if self._retry_timers.pop(timer_box[0], None) is None:
+                    return  # stop() already resolved this record
+            self._requeue(rec)
+
+        timer = threading.Timer(delay, fire)
+        timer.daemon = True
+        timer_box.append(timer)
+        with self._lock:
+            if self._closed or self._failed is not None:
+                rec.handle._resolve(
+                    None, EngineStopped(self._failed or "worker pool is not serving")
+                )
+                return
+            self._retry_timers[timer] = rec
+            self._retries_total += 1
+        timer.start()
+
+    def _retry_delay(self, rec: _Inflight, now: float) -> float:
+        """Jittered exponential backoff, clipped to the remaining deadline budget."""
+        base = self.retry_backoff * (2 ** (rec.retries - 1))
+        delay = base * (0.5 + self._retry_rng.random())  # 0.5x .. 1.5x
+        if rec.deadline is not None:
+            # Never sleep more than half the remaining budget: the retry
+            # still needs queue + serve time to land inside the deadline.
+            delay = min(delay, max(0.0, (rec.deadline - now) / 2.0))
+        return min(delay, 2.0)
+
+    def _requeue(self, rec: _Inflight) -> None:
+        with self._lock:
+            if self._closed or self._failed is not None:
+                rec.handle._resolve(
+                    None, EngineStopped(self._failed or "worker pool is not serving")
+                )
+                return
+            try:
+                req_id = self._enqueue_locked(rec)
+            except EngineStopped as err:
+                rec.handle._resolve(None, err)
+                return
+        self._put_request(req_id, rec)
+
+    def _on_pool_down(self, message: str) -> None:
+        """Last slot gone: fail everything outstanding, refuse new work."""
+        with self._lock:
+            if self._closed or self._failed is not None:
+                # A drain (or an earlier down event) is already failing
+                # leftovers with its own error.
+                return
+            self._failed = message
+            stranded = [self._pop_rec_locked(req_id) for req_id in list(self._handles)]
+            pending = list(self._retry_timers.items())
+            self._retry_timers.clear()
+        error = EngineStopped(message)
+        for timer, rec in pending:
+            timer.cancel()
+            rec.handle._resolve(None, error)
+        for rec in stranded:
+            if rec is not None:
+                rec.handle._resolve(None, error)
+
+    # ------------------------------------------------------------------
+    # Stats + metrics
+    # ------------------------------------------------------------------
     def _stats_loop(self) -> None:
         """Fold worker stats snapshots into ``_worker_snapshots`` until sentinel."""
         while True:
@@ -495,14 +818,34 @@ class WorkerPool:
         Workers publish their local :class:`~repro.serve.stats.ServingStats`
         snapshots over a side queue (throttled, plus once at exit), so this
         is eventually consistent — at most ~one publish interval stale per
-        worker under load.
+        worker under load.  The ``supervisor`` block carries the fault-
+        tolerance view: health state, live workers, restart totals,
+        per-slot crash counts.
         """
         with self._lock:
             snaps = dict(self._worker_snapshots)
-        return {
+            retries = self._retries_total
+        out = {
             "aggregate": aggregate_snapshots(snaps.values()),
             "per_worker": {str(pid): snap for pid, snap in snaps.items()},
+            "retries_total": retries,
         }
+        if self._supervisor is not None:
+            out["supervisor"] = self._supervisor.snapshot()
+        return out
+
+    def health(self) -> dict:
+        """``{"status": "ok"|"degraded"|"unhealthy", "detail": ...}`` for /healthz."""
+        with self._lock:
+            failed = self._failed
+            serving = self._started and not self._closed
+        if failed is not None:
+            return {"status": "unhealthy", "detail": failed}
+        if not serving:
+            return {"status": "unhealthy", "detail": "worker pool is not serving"}
+        if self._supervisor is None:
+            return {"status": "ok"}
+        return self._supervisor.health()
 
     def collect_metrics(self):
         """Pull-time ``/metrics`` source: aggregated worker-pool counters.
@@ -512,12 +855,26 @@ class WorkerPool:
         """
         snapshot = self.stats_snapshot()
         aggregate = snapshot["aggregate"]
+        sup = snapshot.get("supervisor") or {}
         yield ("repro_pool_workers", "gauge",
                "Worker processes in the serving pool",
-               [({}, float(len(self._processes)))])
+               [({}, float(sup.get("target_workers", self.num_workers)))])
+        yield ("repro_pool_workers_live", "gauge",
+               "Worker processes currently alive",
+               [({}, float(sup.get("live_workers", 0)))])
         yield ("repro_pool_workers_reporting", "gauge",
                "Workers whose stats snapshots have been received",
                [({}, float(aggregate["workers"]))])
+        yield ("repro_pool_worker_restarts_total", "counter",
+               "Dead workers respawned by the supervisor",
+               [({}, float(sup.get("restarts_total", 0)))])
+        yield ("repro_pool_request_retries_total", "counter",
+               "Requests re-enqueued after a worker death",
+               [({}, float(snapshot["retries_total"]))])
+        health_code = {"ok": 0.0, "degraded": 1.0, "unhealthy": 2.0}
+        yield ("repro_pool_health", "gauge",
+               "Pool health state (0 ok / 1 degraded / 2 unhealthy)",
+               [({}, health_code.get(self.health()["status"], 2.0))])
         yield ("repro_pool_requests_total", "counter",
                "Worker-side request outcomes, summed across the pool",
                [({"outcome": name}, float(value))
@@ -528,51 +885,40 @@ class WorkerPool:
                [({"stat": "scored"}, float(ood["scored_total"])),
                 ({"stat": "flagged"}, float(ood["flagged_total"]))])
 
-    def _watch_workers(self) -> bool:
-        """Fail outstanding handles if a worker died; True when pool is down.
-
-        A worker that crashes mid-batch can never answer the requests it
-        held, and with one shared request queue there is no per-worker
-        accounting — so the pool fails *every* outstanding handle rather
-        than stranding an unknown subset forever, and refuses new work.
-
-        Deliberately ignores ``self._closed``: during a drain the
-        dispatcher must keep pumping until the ``stop()`` sentinel so the
-        responses workers flushed on their way out still resolve their
-        handles (exit code 0 is a clean worker exit, not a death).
-        """
-        dead = [p for p in self._processes if p.pid is not None and not p.is_alive() and p.exitcode != 0]
-        if not dead:
-            return False
-        message = (
-            f"worker process (pid {dead[0].pid}) died with exit code {dead[0].exitcode}"
-        )
-        with self._lock:
-            self._failed = message
-            stranded = list(self._handles.values())
-            self._handles.clear()
-        error = EngineStopped(message)
-        for handle in stranded:
-            handle._resolve(None, error)
-        return True
-
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
     def stop(self, join_timeout: float = 10.0) -> None:
         """Drain and shut down: stop admission, flush, join, fail leftovers."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            pending = list(self._retry_timers.items())
+            self._retry_timers.clear()
+        stop_error = EngineStopped("pool stopped before the request was served")
+        for timer, rec in pending:
+            timer.cancel()
+            rec.handle._resolve(None, stop_error)
         if self._started:
-            for _ in self._processes:
+            if self._supervisor is not None:
+                # No more respawns; worker exit code 0 is now expected.
+                self._supervisor.drain()
+                processes = self._supervisor.processes()
+            else:
+                processes = []
+            for slot in self._slots:
                 try:
-                    self._request_q.put(None, timeout=join_timeout)
-                except queue.Full:
-                    break
-            for proc in self._processes:
+                    slot.queue.put(None, timeout=join_timeout)
+                except (queue.Full, ValueError, OSError):
+                    pass
+            for proc in processes:
                 proc.join(timeout=join_timeout)
                 if proc.is_alive():
                     proc.terminate()
                     proc.join(timeout=1.0)
+            if self._supervisor is not None:
+                self._supervisor.stop()
             # Workers flushed their responses before exiting; FIFO order
             # guarantees the dispatcher sees them all before the sentinel.
             self._response_q.put(None)
@@ -585,13 +931,13 @@ class WorkerPool:
             if self._stats_collector is not None:
                 self._stats_collector.join(timeout=join_timeout)
         with self._lock:
-            stranded = list(self._handles.values())
-            self._handles.clear()
-        error = EngineStopped("pool stopped before the request was served")
-        for handle in stranded:
-            handle._resolve(None, error)
-        self._request_q.close()
-        self._request_q.cancel_join_thread()
+            stranded = [self._pop_rec_locked(req_id) for req_id in list(self._handles)]
+        for rec in stranded:
+            if rec is not None:
+                rec.handle._resolve(None, stop_error)
+        for slot in self._slots:
+            slot.queue.close()
+            slot.queue.cancel_join_thread()
         self._response_q.close()
         self._response_q.cancel_join_thread()
         self._stats_q.close()

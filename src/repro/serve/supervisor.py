@@ -1,0 +1,338 @@
+"""Worker-process supervision: liveness, respawn with backoff, health.
+
+The pool parent used to treat any worker death as terminal — the first
+non-zero exit failed every outstanding handle and wedged the pool in a
+permanent ``EngineStopped`` state.  :class:`WorkerSupervisor` replaces
+that with a state machine per worker *slot*:
+
+* **Liveness** comes from the OS, not polling heuristics: the monitor
+  thread blocks in :func:`multiprocessing.connection.wait` on each live
+  process's ``sentinel`` pipe, so a SIGKILLed worker is noticed within
+  one scheduling quantum, and ``exitcode`` distinguishes a clean drain
+  exit (0) from a death.
+* **Respawn** re-uses the published :class:`~repro.serve.pool.SharedWeights`
+  segment — the replacement worker re-attaches the existing read-only
+  bank (the ``spawn`` factory the pool injects), so recovery costs a
+  fork + attach, never a weight re-publish.
+* **Backoff + abandonment** keep a crash-looping worker from melting the
+  host: consecutive *fast* crashes (death within
+  ``fast_crash_window`` seconds of spawn) grow an exponential, jittered
+  respawn delay, and after ``max_fast_crashes`` of them the slot is
+  **abandoned** — permanently degraded capacity, reported via
+  :meth:`health` so ``/healthz`` can say ``degraded`` while the pool
+  keeps serving on the remaining workers.  When the last slot is gone
+  the supervisor declares the pool down (``unhealthy``, 503).
+
+Callbacks (all invoked on the monitor thread, sequentially):
+``on_death(slot, pid, exitcode)`` before any respawn decision — the pool
+retries the requests that worker held; ``on_abandon(slot, reason)`` when
+a slot is written off; ``on_down(message)`` once, when no slot can ever
+serve again.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import connection
+
+__all__ = ["RespawnPolicy", "WorkerSupervisor"]
+
+#: Monitor wake-up ceiling: also bounds how stale a pending-respawn check
+#: or drain notice can get when no sentinel fires.
+_POLL_INTERVAL = 0.2
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """Knobs for the respawn/backoff/abandon state machine.
+
+    ``backoff_base * 2**(consecutive fast crashes - 1)`` seconds (capped
+    at ``backoff_max``, jittered by ``±jitter`` fraction) before respawn
+    attempt N; a crash more than ``fast_crash_window`` seconds after
+    spawn resets the streak (the worker did real serving).  More than
+    ``max_fast_crashes`` consecutive fast crashes abandon the slot.
+    """
+
+    backoff_base: float = 0.1
+    backoff_max: float = 5.0
+    fast_crash_window: float = 5.0
+    max_fast_crashes: int = 5
+    jitter: float = 0.25
+    seed: int = 0
+
+
+class _Slot:
+    """One worker slot: a process that is running, backing off, done, or gone."""
+
+    __slots__ = ("index", "process", "spawned_at", "fast_crashes", "restarts",
+                 "abandoned", "respawn_at", "done", "rng")
+
+    def __init__(self, index: int, seed: int):
+        self.index = index
+        self.process = None
+        self.spawned_at = 0.0
+        self.fast_crashes = 0
+        self.restarts = 0
+        self.abandoned = False
+        self.respawn_at: float | None = None
+        self.done = False  # clean exit (drain) — not a death
+        self.rng = random.Random((seed << 8) ^ index)
+
+
+class WorkerSupervisor:
+    """Monitors worker liveness and respawns dead workers (module docstring)."""
+
+    def __init__(
+        self,
+        spawn,
+        num_workers: int,
+        *,
+        policy: RespawnPolicy | None = None,
+        respawn: bool = True,
+        clock=time.monotonic,
+        on_death=None,
+        on_abandon=None,
+        on_down=None,
+    ):
+        self._spawn = spawn
+        self.policy = policy or RespawnPolicy()
+        self._respawn = bool(respawn)
+        self._clock = clock
+        self._on_death = on_death
+        self._on_abandon = on_abandon
+        self._on_down = on_down
+        self._slots = [_Slot(i, self.policy.seed) for i in range(int(num_workers))]
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._draining = False
+        self._thread: threading.Thread | None = None
+        self._restarts_total = 0
+        self._down_message: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerSupervisor":
+        now = self._clock()
+        for slot in self._slots:
+            slot.process = self._spawn(slot.index)
+            slot.spawned_at = now
+        self._thread = threading.Thread(
+            target=self._monitor, name="pool-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def drain(self) -> None:
+        """Stop respawning; worker exits (code 0) are now expected, not deaths."""
+        with self._lock:
+            self._draining = True
+            for slot in self._slots:
+                slot.respawn_at = None
+
+    def stop(self) -> None:
+        """Drain + stop the monitor thread (processes are joined by the pool)."""
+        self.drain()
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def processes(self) -> list:
+        with self._lock:
+            return [s.process for s in self._slots if s.process is not None]
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return [s.process.pid for s in self._slots
+                    if s.process is not None and s.process.pid is not None]
+
+    def health(self) -> dict:
+        """``{"status": "ok"|"degraded"|"unhealthy", "detail": ...}`` for /healthz."""
+        with self._lock:
+            if self._down_message is not None:
+                return {"status": "unhealthy", "detail": self._down_message}
+            target = len(self._slots)
+            live = sum(
+                1 for s in self._slots
+                if s.process is not None and s.process.is_alive()
+            )
+            abandoned = [s.index for s in self._slots if s.abandoned]
+            respawning = [s.index for s in self._slots if s.respawn_at is not None]
+        if live == 0:
+            if respawning:
+                return {
+                    "status": "degraded",
+                    "detail": f"0/{target} workers live; respawning slots {respawning}",
+                }
+            return {"status": "unhealthy", "detail": "no live workers"}
+        if abandoned or live < target:
+            parts = [f"{live}/{target} workers live"]
+            if respawning:
+                parts.append(f"respawning slots {respawning}")
+            if abandoned:
+                parts.append(f"abandoned slots {abandoned} (crash-looping)")
+            return {"status": "degraded", "detail": "; ".join(parts)}
+        return {"status": "ok"}
+
+    def snapshot(self) -> dict:
+        """Counters + per-slot detail for ``/stats`` and metrics collectors."""
+        health = self.health()
+        with self._lock:
+            slots = [
+                {
+                    "slot": s.index,
+                    "pid": None if s.process is None else s.process.pid,
+                    "alive": s.process is not None and s.process.is_alive(),
+                    "restarts": s.restarts,
+                    "fast_crashes": s.fast_crashes,
+                    "abandoned": s.abandoned,
+                    "respawn_pending": s.respawn_at is not None,
+                }
+                for s in self._slots
+            ]
+            restarts = self._restarts_total
+        return {
+            "state": health["status"],
+            "detail": health.get("detail"),
+            "target_workers": len(slots),
+            "live_workers": sum(1 for s in slots if s["alive"]),
+            "restarts_total": restarts,
+            "abandoned_slots": [s["slot"] for s in slots if s["abandoned"]],
+            "slots": slots,
+        }
+
+    # ------------------------------------------------------------------
+    # Monitor thread
+    # ------------------------------------------------------------------
+    def _backoff(self, slot: _Slot) -> float:
+        policy = self.policy
+        attempt = max(slot.fast_crashes, 1)
+        delay = min(policy.backoff_base * (2 ** (attempt - 1)), policy.backoff_max)
+        spread = policy.jitter * delay
+        return max(0.0, delay + slot.rng.uniform(-spread, spread))
+
+    def _monitor(self) -> None:
+        while not self._stop_event.is_set():
+            now = self._clock()
+            self._respawn_due(now)
+            with self._lock:
+                live = [s for s in self._slots if s.process is not None]
+                pending = [s.respawn_at for s in self._slots if s.respawn_at is not None]
+            # Reading ``exitcode`` polls (and reaps) the process, so a
+            # worker that died *between* loop iterations already has it
+            # set and would never fire the sentinel wait below — handle
+            # such deaths now instead of silently skipping them.
+            for slot in live:
+                process = slot.process
+                if process is not None and process.exitcode is not None:
+                    self._handle_exit(slot)
+            with self._lock:
+                sentinels = {
+                    s.process.sentinel: s
+                    for s in self._slots
+                    if s.process is not None and s.process.exitcode is None
+                }
+            timeout = _POLL_INTERVAL
+            if pending:
+                timeout = max(0.0, min(min(pending) - now, timeout))
+            if sentinels:
+                try:
+                    ready = connection.wait(list(sentinels), timeout=timeout)
+                except OSError:  # a sentinel fd closed under us mid-wait
+                    ready = []
+            else:
+                self._stop_event.wait(timeout)
+                ready = []
+            for sentinel in ready:
+                self._handle_exit(sentinels[sentinel])
+            self._check_down()
+
+    def _respawn_due(self, now: float) -> None:
+        with self._lock:
+            due = [
+                s for s in self._slots
+                if s.respawn_at is not None and now >= s.respawn_at
+                and not self._draining
+            ]
+        for slot in due:
+            process = self._spawn(slot.index)
+            with self._lock:
+                slot.process = process
+                slot.spawned_at = self._clock()
+                slot.respawn_at = None
+                slot.restarts += 1
+                self._restarts_total += 1
+
+    def _handle_exit(self, slot: _Slot) -> None:
+        process = slot.process
+        if process is None:
+            return
+        # The sentinel can fire a beat before waitpid sees the exit; a
+        # short bounded join reaps it without spinning on the sentinel.
+        process.join(timeout=0.05)
+        exitcode = process.exitcode
+        if exitcode is None:
+            return  # spurious wake; still alive
+        pid = process.pid
+        now = self._clock()
+        with self._lock:
+            draining = self._draining
+            slot.process = None
+        if exitcode == 0 or draining:
+            # Clean exit: a drained worker, or any straggler during
+            # shutdown.  Never respawned.
+            with self._lock:
+                slot.done = True
+            return
+        fast = (now - slot.spawned_at) <= self.policy.fast_crash_window
+        with self._lock:
+            slot.fast_crashes = slot.fast_crashes + 1 if fast else 1
+            crashes = slot.fast_crashes
+        if self._on_death is not None:
+            self._on_death(slot.index, pid, exitcode)
+        if not self._respawn or crashes > self.policy.max_fast_crashes:
+            reason = (
+                f"worker slot {slot.index} (pid {pid}) abandoned after "
+                f"{crashes} consecutive fast crashes (last exit code {exitcode})"
+                if self._respawn
+                else f"worker slot {slot.index} (pid {pid}) died with exit code "
+                f"{exitcode} and respawn is disabled"
+            )
+            with self._lock:
+                slot.abandoned = True
+            if self._on_abandon is not None:
+                self._on_abandon(slot.index, reason)
+        else:
+            delay = self._backoff(slot)
+            with self._lock:
+                slot.respawn_at = now + delay
+
+    def _check_down(self) -> None:
+        with self._lock:
+            if self._down_message is not None or self._draining:
+                return
+            # A slot still holding a process reference counts even when
+            # that process just died: the death has not been *handled*
+            # yet (handling clears ``process`` and either schedules a
+            # respawn or abandons the slot) — declaring the pool down on
+            # an unprocessed death would race the recovery path.
+            serviceable = any(
+                s.process is not None or s.respawn_at is not None
+                for s in self._slots
+            )
+            if serviceable:
+                return
+            abandoned = sum(1 for s in self._slots if s.abandoned)
+            message = (
+                f"worker pool is down: all {len(self._slots)} worker slots are "
+                f"gone ({abandoned} abandoned after crash loops)"
+            )
+            self._down_message = message
+        if self._on_down is not None:
+            self._on_down(message)

@@ -379,3 +379,29 @@ class TestDrain:
             assert engine.submit(graph).result(timeout=10.0) is not None
         finally:
             engine.stop()
+
+    def test_restart_recovers_a_dead_serve_loop(self, rng):
+        """``restart()`` is the recovery verb for a killed loop: after the
+        loop dies (submit fails fast with EngineStopped), one call brings
+        the queue front-end back over the same models."""
+        engine = make_engine(rng, max_graphs=1, flush_timeout=0.01)
+        graphs = make_graphs(rng, 2)
+        engine._run_pending = lambda items: (_ for _ in ()).throw(
+            AttributeError("engine bug outside the guarded forward")
+        )
+        engine.start()
+        handle = engine.submit(graphs[0])
+        with pytest.raises(Exception):
+            handle.result(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while engine._loop_error is None and time.monotonic() < deadline:
+            time.sleep(0.005)
+        with pytest.raises(EngineStopped, match="died"):
+            engine.submit(graphs[0])
+        del engine._run_pending  # the bug is fixed; bring the loop back
+        engine.restart()
+        try:
+            assert engine._loop_error is None
+            assert engine.submit(graphs[1]).result(timeout=10.0).probs is not None
+        finally:
+            engine.stop()

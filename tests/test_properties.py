@@ -71,11 +71,15 @@ class TestWeightProjectionProperties:
         ),
     )
     @settings(max_examples=40, deadline=None)
-    def test_projection_preserves_order(self, weights):
+    def test_projection_never_inverts_order(self, weights):
+        # Monotone, not strictly order-preserving: the rescale can collapse
+        # ULP-close inputs into exact ties (multiplying by one positive
+        # scalar is IEEE-monotone but not injective), which legitimately
+        # perturbs a stable argsort's tie-breaking — inversions, however,
+        # can never happen.
         out = project_weights(weights)
-        order_in = np.argsort(weights, kind="stable")
-        order_out = np.argsort(out, kind="stable")
-        np.testing.assert_array_equal(order_in, order_out)
+        order = np.argsort(weights, kind="stable")
+        assert (np.diff(out[order]) >= 0).all()
 
     @given(
         weights=arrays(

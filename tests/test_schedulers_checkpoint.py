@@ -218,3 +218,74 @@ class TestBufferPersistence:
         buffers = {k: np.zeros(3) for k in m.buffer_dict()}
         with pytest.raises(ValueError, match="shape mismatch"):
             m.load_buffer_dict(buffers)
+
+
+class TestAtomicWrites:
+    """save_state publishes atomically: a crash mid-write never tears the
+    archive on disk (temp file + fsync + os.replace)."""
+
+    def test_kill_mid_write_leaves_previous_archive_intact(self, rng, tmp_path):
+        import multiprocessing as mp
+        import os
+
+        path = tmp_path / "model.npz"
+        state = {"w": rng.normal(size=(4, 4)), "b": rng.normal(size=4)}
+        save_state(state, path, metadata={"epoch": 1})
+        before = path.read_bytes()
+
+        def torn_writer():
+            import numpy as np_mod
+
+            def torn_savez(fh, **payload):
+                fh.write(b"\x00garbage: process dies mid-archive\x00")
+                fh.flush()
+                os.fsync(fh.fileno())
+                os._exit(1)  # hard kill before the archive completes
+
+            np_mod.savez = torn_savez
+            save_state({"w": rng.normal(size=(4, 4))}, path, metadata={"epoch": 2})
+
+        proc = mp.get_context("fork").Process(target=torn_writer)
+        proc.start()
+        proc.join(timeout=30.0)
+        assert proc.exitcode == 1
+        # The published archive is byte-identical and still loads.
+        assert path.read_bytes() == before
+        loaded, metadata = load_state(path)
+        assert metadata["epoch"] == 1
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+
+    def test_kill_mid_write_to_fresh_path_publishes_nothing(self, rng, tmp_path):
+        import multiprocessing as mp
+        import os
+
+        path = tmp_path / "fresh.npz"
+
+        def torn_writer():
+            import numpy as np_mod
+
+            def torn_savez(fh, **payload):
+                fh.write(b"partial")
+                os._exit(1)
+
+            np_mod.savez = torn_savez
+            save_state({"w": np.ones(2)}, path)
+
+        proc = mp.get_context("fork").Process(target=torn_writer)
+        proc.start()
+        proc.join(timeout=30.0)
+        assert proc.exitcode == 1
+        assert not path.exists()  # nothing half-written at the target name
+
+    def test_temp_file_cleaned_up_on_write_error(self, rng, tmp_path, monkeypatch):
+        import numpy as np_mod
+
+        path = tmp_path / "model.npz"
+
+        def failing_savez(fh, **payload):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np_mod, "savez", failing_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_state({"w": np.ones(2)}, path)
+        assert list(tmp_path.iterdir()) == []  # no temp litter, no target

@@ -14,28 +14,43 @@ Two layers of coverage for :mod:`repro.serve.net` / :mod:`repro.serve.wire`:
 Plus boundary validation of :func:`repro.serve.wire.graph_from_json` —
 the malformed payloads that used to surface as cryptic numpy errors (or
 silently truncate float edge indices toward valid-looking wrong edges).
+
+Fault-tolerance additions: the :class:`CircuitBreaker` state machine on a
+fake clock, breaker shedding over real HTTP (503 + ``Retry-After``),
+degraded-vs-unhealthy ``/healthz`` reporting, and a full-subprocess
+SIGTERM drain of ``python -m repro.serve --http`` under live load.
 """
 
 import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
 import time
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+import repro
 from repro.graph.generators import erdos_renyi
 from repro.serve import (
     DeadlineExceeded,
     EngineStopped,
     FeatureSchema,
     InferenceEngine,
+    ModelArtifact,
+    ModelSpec,
     PendingResult,
     QueueFull,
     ServingStats,
     graph_from_json,
 )
-from repro.serve.net import EngineBackend, serve_http
+from repro.serve.net import CircuitBreaker, EngineBackend, serve_http
 from repro.encoders import build_model
 
 FEATURE_DIM, OUT_DIM = 4, 3
@@ -379,3 +394,295 @@ class TestEndToEndEngineBackend:
         assert h1.result(timeout=1.0) is not None
         # Resolution released the inflight slots.
         assert backend._inflight == 0
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: circuit breaker, health reporting, SIGTERM drain
+# ----------------------------------------------------------------------
+
+class FakeClock:
+    """Settable monotonic time source for deterministic breaker tests."""
+
+    def __init__(self, now=100.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def breaker(self, clock, **overrides):
+        kwargs = dict(window=8, min_requests=4, error_threshold=0.5,
+                      open_duration=5.0, half_open_probes=2, clock=clock)
+        kwargs.update(overrides)
+        return CircuitBreaker(**kwargs)
+
+    def test_stays_closed_below_threshold(self):
+        br = self.breaker(FakeClock())
+        for ok in (True, True, True, False, True, False):  # 2/6 < 0.5
+            br.record(ok)
+        assert br.state == CircuitBreaker.CLOSED
+        assert br.allow() == (True, None)
+
+    def test_trips_at_error_fraction_over_min_requests(self):
+        br = self.breaker(FakeClock())
+        br.record(False)  # 1/1 = 100% but below min_requests: stays closed
+        assert br.state == CircuitBreaker.CLOSED
+        for ok in (True, False, False):  # now 3/4 >= 0.5 with 4 observed
+            br.record(ok)
+        assert br.state == CircuitBreaker.OPEN
+        assert br.opens_total == 1
+
+    def test_open_sheds_with_retry_after_then_half_opens(self):
+        clock = FakeClock()
+        br = self.breaker(clock)
+        for _ in range(4):
+            br.record(False)
+        allowed, retry_after = br.allow()
+        assert not allowed
+        assert 0.0 < retry_after <= 5.0
+        assert br.shed_total == 1
+        clock.advance(2.0)
+        _, retry_after = br.allow()
+        assert retry_after == pytest.approx(3.0)  # counts down the window
+        clock.advance(3.0)  # open_duration elapsed
+        assert br.allow() == (True, None)  # half-open probe admitted
+        assert br.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        br = self.breaker(clock)
+        for _ in range(4):
+            br.record(False)
+        clock.advance(5.0)
+        assert br.allow()[0]
+        br.record(True)
+        assert br.state == CircuitBreaker.CLOSED
+        assert br.allow() == (True, None)
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        br = self.breaker(clock)
+        for _ in range(4):
+            br.record(False)
+        clock.advance(5.0)
+        assert br.allow()[0]
+        br.record(False)
+        assert br.state == CircuitBreaker.OPEN
+        assert br.opens_total == 2
+        assert not br.allow()[0]  # a fresh open window starts
+
+    def test_half_open_bounds_concurrent_probes(self):
+        clock = FakeClock()
+        br = self.breaker(clock, half_open_probes=2)
+        for _ in range(4):
+            br.record(False)
+        clock.advance(5.0)
+        assert br.allow()[0] and br.allow()[0]  # two probes pass
+        allowed, retry_after = br.allow()       # third sheds until a verdict
+        assert not allowed and retry_after == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="error_threshold"):
+            CircuitBreaker(error_threshold=0.0)
+        with pytest.raises(ValueError, match="min_requests"):
+            CircuitBreaker(min_requests=0)
+
+    def test_snapshot_shape(self):
+        br = self.breaker(FakeClock())
+        br.record(False)
+        snap = br.snapshot()
+        assert snap["state"] == CircuitBreaker.CLOSED
+        assert snap["window_errors"] == 1 and snap["window_size"] == 1
+        assert snap["opens_total"] == 0 and snap["shed_total"] == 0
+
+
+def _stop_server(server):
+    server.draining = True  # skip backend.stop noise
+    server.shutdown()
+    server.server_close()
+
+
+class TestBreakerOverHttp:
+    def test_backend_errors_trip_breaker_and_shed_with_retry_after(self, rng):
+        """Consecutive 500s open the breaker; the next request sheds with
+        503 + a Retry-After header before ever reaching the backend."""
+        backend = StubBackend([lambda: RuntimeError("backend on fire")] * 4)
+        server = serve_http(
+            backend, schema=SCHEMA,
+            breaker=CircuitBreaker(window=8, min_requests=4, error_threshold=0.5,
+                                   open_duration=60.0),
+        )
+        try:
+            payload = make_graph_payload(rng)
+            for _ in range(4):
+                assert http(server.url + "/predict", payload)[0] == 500
+            submitted_before = len(backend.submitted)
+            request = urllib.request.Request(
+                server.url + "/predict", data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30.0)
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            assert "circuit breaker" in json.loads(excinfo.value.read())["error"]
+            assert len(backend.submitted) == submitted_before  # shed pre-backend
+            _, stats = http(server.url + "/stats")
+            assert stats["breaker"]["state"] == "open"
+            assert stats["breaker"]["opens_total"] == 1
+            assert stats["breaker"]["shed_total"] >= 1
+        finally:
+            _stop_server(server)
+
+    def test_client_errors_do_not_trip_the_breaker(self, rng):
+        """400s (client's fault) and 429s (admission working) are neutral."""
+        backend = StubBackend([QueueFull("shed")] * 6)
+        server = serve_http(
+            backend, schema=SCHEMA,
+            breaker=CircuitBreaker(window=8, min_requests=2, error_threshold=0.5,
+                                   open_duration=60.0),
+        )
+        try:
+            good = make_graph_payload(rng)
+            for _ in range(3):
+                assert http(server.url + "/predict", {"x": [[1.0], [2.0, 3.0]]})[0] == 400
+                assert http(server.url + "/predict", good)[0] == 429
+            _, stats = http(server.url + "/stats")
+            assert stats["breaker"]["state"] == "closed"
+            assert stats["breaker"]["opens_total"] == 0
+        finally:
+            _stop_server(server)
+
+
+class HealthStub(StubBackend):
+    """Stub backend with a programmable health probe."""
+
+    def __init__(self, outcomes, health):
+        super().__init__(outcomes)
+        self._health = health
+
+    def health(self):
+        return self._health
+
+
+class TestHealthReporting:
+    def test_degraded_is_200_with_detail(self):
+        backend = HealthStub([], {"status": "degraded",
+                                  "detail": "1/2 workers live; respawning slots [1]"})
+        server = serve_http(backend, schema=SCHEMA)
+        try:
+            status, body = http(server.url + "/healthz")
+            assert status == 200  # degraded still serves: do NOT eject from LB
+            assert body["status"] == "degraded"
+            assert "respawning" in body["detail"]
+        finally:
+            _stop_server(server)
+
+    def test_unhealthy_is_503_with_detail(self):
+        backend = HealthStub([], {"status": "unhealthy",
+                                  "detail": "worker pool is down"})
+        server = serve_http(backend, schema=SCHEMA)
+        try:
+            status, body = http(server.url + "/healthz")
+            assert status == 503
+            assert body["status"] == "unhealthy" and "down" in body["detail"]
+        finally:
+            _stop_server(server)
+
+    def test_broken_probe_reports_unhealthy(self):
+        class BrokenProbe(StubBackend):
+            def health(self):
+                raise RuntimeError("probe exploded")
+
+        server = serve_http(BrokenProbe([]), schema=SCHEMA)
+        try:
+            status, body = http(server.url + "/healthz")
+            assert status == 503 and "probe" in body["detail"]
+        finally:
+            _stop_server(server)
+
+    def test_stats_carries_health_and_breaker_blocks(self):
+        backend = HealthStub([], {"status": "ok"})
+        server = serve_http(backend, schema=SCHEMA)
+        try:
+            _, stats = http(server.url + "/stats")
+            assert stats["health"] == {"status": "ok"}
+            assert stats["breaker"]["state"] == "closed"
+        finally:
+            _stop_server(server)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tmp_path_factory):
+    spec = ModelSpec("gin", hidden_dim=8, num_layers=2)
+    artifact = ModelArtifact.from_models([spec.build(SCHEMA)], spec, SCHEMA)
+    path = tmp_path_factory.mktemp("artifact") / "model.npz"
+    artifact.save(path)
+    return path
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_the_pooled_server_under_load(self, artifact_path, rng):
+        """Full subprocess: ``python -m repro.serve --http --workers 2``,
+        live traffic, SIGTERM.  The process must exit 0 (graceful drain),
+        never answer 500, and keep serving 200s until the drain flips."""
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", str(artifact_path),
+             "--http", "--port", "0", "--workers", "2", "--flush-timeout", "0.005"],
+            stderr=subprocess.PIPE, text=True, env=env,
+        )
+        stderr_lines: list[str] = []
+        url_box: list[str] = []
+        ready = threading.Event()
+
+        def read_stderr():
+            for line in proc.stderr:
+                stderr_lines.append(line)
+                match = re.search(r"on (http://[\d.]+:\d+)", line)
+                if match and not url_box:
+                    url_box.append(match.group(1))
+                    ready.set()
+            ready.set()  # EOF without a serving line: fail fast below
+
+        reader = threading.Thread(target=read_stderr, daemon=True)
+        reader.start()
+        stop_loading = threading.Event()
+        loader = None
+        try:
+            assert ready.wait(120.0) and url_box, (
+                f"server never announced its port; stderr: {''.join(stderr_lines)}"
+            )
+            url = url_box[0]
+            payload = make_graph_payload(rng)
+            warm = [http(url + "/predict", payload, timeout=60.0)[0] for _ in range(3)]
+            assert warm == [200, 200, 200]
+            statuses: list[int] = []
+
+            def load():
+                while not stop_loading.is_set():
+                    try:
+                        statuses.append(http(url + "/predict", payload, timeout=60.0)[0])
+                    except Exception:
+                        return  # connection refused once the socket closed
+
+            loader = threading.Thread(target=load, daemon=True)
+            loader.start()
+            time.sleep(0.2)  # in-flight traffic when the signal lands
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60.0) == 0
+            stop_loading.set()
+            loader.join(timeout=10.0)
+            assert all(status in (200, 503) for status in statuses), statuses
+            assert statuses.count(200) >= 1
+        finally:
+            stop_loading.set()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)

@@ -9,8 +9,10 @@ Covers :mod:`repro.serve.pool`:
 * :class:`WorkerPool` — submit/result parity with the in-process engine,
   bounded-queue admission control (QueueFull), per-request deadlines
   (DeadlineExceeded), drain-on-stop resolving every handle, poisoned
-  requests answering with errors while the worker lives on, and a
-  SIGKILLed worker failing outstanding handles instead of stranding them.
+  requests answering with errors while the worker lives on, a SIGKILLed
+  worker respawning (supervisor) with the pool still serving, and a
+  crash-looping pool abandoning the slot / reporting down rather than
+  stranding handles.
 """
 
 import json
@@ -34,6 +36,7 @@ from repro.serve import (
     ModelArtifact,
     ModelSpec,
     QueueFull,
+    RespawnPolicy,
     SharedWeights,
     WorkerPool,
 )
@@ -116,6 +119,42 @@ class TestSharedWeights:
             assert total_view_bytes <= shared.nbytes
         finally:
             shared.close(unlink=True)
+
+    def test_attach_after_unlink_raises_clear_error(self, artifact):
+        shared = SharedWeights.publish(artifact)
+        manifest = shared.manifest
+        shared.close(unlink=True)
+        with pytest.raises(RuntimeError, match="gone|republish"):
+            SharedWeights.attach(manifest)
+
+    def test_publisher_exit_without_close_unlinks_segment(self, artifact, tmp_path):
+        """A publisher that never calls close() must not leak /dev/shm:
+        the finalizer unlinks the segment when the process exits, and a
+        late attach diagnoses the gone segment instead of raising a bare
+        FileNotFoundError."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        manifest_q = ctx.SimpleQueue()
+
+        def publisher():
+            shared = SharedWeights.publish(artifact)
+            manifest_q.put(shared.manifest)
+            # Exit without close(): only the finalizer stands between
+            # this segment and a leak until reboot.
+
+        proc = ctx.Process(target=publisher)
+        proc.start()
+        manifest = manifest_q.get()
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0
+        with pytest.raises(RuntimeError, match="gone|republish"):
+            SharedWeights.attach(manifest)
+
+    def test_close_unlink_is_idempotent_with_finalizer(self, artifact):
+        shared = SharedWeights.publish(artifact)
+        shared.close(unlink=True)
+        shared.close(unlink=True)  # finalizer already ran; must not raise
 
     def test_engine_over_shared_weights_is_bitwise_identical(self, artifact, rng):
         graphs = make_graphs(rng, 5)
@@ -270,31 +309,57 @@ class TestWorkerPool:
             second = pool.submit(graphs[1]).result(timeout=30.0)
             assert second["prediction"] in range(OUT_DIM)
 
-    def test_worker_crash_fails_outstanding_handles(self, artifact, rng):
-        """SIGKILL a worker mid-service: outstanding handles resolve with
-        EngineStopped (pre-hardening: .result() blocked forever) and the
-        pool refuses new work with the death recorded."""
-        pool = WorkerPool(artifact, num_workers=1, flush_timeout=0.005).start()
+    def test_worker_crash_respawns_and_pool_keeps_serving(self, artifact, rng):
+        """SIGKILL a worker: the supervisor respawns it against the same
+        shared segment and later requests serve (pre-supervision: the
+        first death wedged the pool in a permanent EngineStopped)."""
+        pool = WorkerPool(
+            artifact, num_workers=1, flush_timeout=0.005, retry_limit=3,
+            respawn_policy=RespawnPolicy(backoff_base=0.01, jitter=0.0),
+        ).start()
         try:
-            (pid,) = pool.worker_pids()
             # Let the worker finish starting, then take it down.
             pool.submit(make_graphs(rng, 1)[0]).result(timeout=30.0)
+            (pid,) = pool.worker_pids()
             os.kill(pid, signal.SIGKILL)
-            deadline = time.monotonic() + 10.0
+            result = pool.submit(make_graphs(rng, 1)[0]).result(timeout=30.0)
+            assert result["prediction"] in range(OUT_DIM)
+            snap = pool.stats_snapshot()
+            assert snap["supervisor"]["restarts_total"] >= 1
+            assert pool.health()["status"] in ("ok", "degraded")
+            new_pid = pool.worker_pids()
+            assert new_pid and new_pid != [pid]
+        finally:
+            pool.stop()
+
+    def test_crash_loop_abandons_slot_and_pool_reports_down(self, artifact, rng):
+        """Repeated fast crashes exhaust the respawn budget: the slot is
+        abandoned, outstanding handles fail (never strand), and the pool
+        refuses new work with the outage recorded."""
+        pool = WorkerPool(
+            artifact, num_workers=1, flush_timeout=0.005, retry_limit=1,
+            respawn_policy=RespawnPolicy(
+                backoff_base=0.01, backoff_max=0.05, max_fast_crashes=2, jitter=0.0,
+            ),
+        ).start()
+        try:
+            pool.submit(make_graphs(rng, 1)[0]).result(timeout=30.0)
+            deadline = time.monotonic() + 30.0
             while time.monotonic() < deadline:
-                try:
-                    handle = pool.submit(make_graphs(rng, 1)[0])
-                except EngineStopped:
-                    break  # death detected at submit: done
-                try:
-                    handle.result(timeout=2.0)
-                except (EngineStopped, TimeoutError):
-                    pass
-                else:
-                    pytest.fail("request served by a SIGKILLed worker")
+                for pid in pool.worker_pids():
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                if pool.health()["status"] == "unhealthy":
                     break
-            with pytest.raises(EngineStopped, match="died"):
-                pool.submit(make_graphs(rng, 1)[0])
+                time.sleep(0.02)
+            assert pool.health()["status"] == "unhealthy"
+            with pytest.raises(EngineStopped, match="down|abandoned|serving"):
+                for _ in range(50):  # submits until the down event lands
+                    handle = pool.submit(make_graphs(rng, 1)[0])
+                    with pytest.raises((EngineStopped, DeadlineExceeded, TimeoutError)):
+                        handle.result(timeout=2.0)
         finally:
             pool.stop()
 
